@@ -1,0 +1,107 @@
+package sendervalid_test
+
+// The facade test exercises the re-exported public API exactly as an
+// external module would: build a static zone, serve it, and run
+// SPF + DKIM + DMARC through the exported types only.
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	sendervalid "sendervalid"
+)
+
+func TestPublicFacadeEndToEnd(t *testing.T) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyTXT, err := sendervalid.FormatDKIMKey(pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	zone := sendervalid.NewStaticZone().
+		SPF("corp.example", "v=spf1 ip4:203.0.113.0/24 -all").
+		DKIMKey("k1", "corp.example", keyTXT).
+		DMARC("corp.example", "v=DMARC1; p=reject")
+	srv := &sendervalid.AuthServer{
+		Zones: []*sendervalid.AuthZone{{Suffix: "corp.example.", LabelDepth: 1, Default: zone}},
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	res := sendervalid.NewResolver(sendervalid.ResolverConfig{
+		Server: addr.String(), Timeout: 3 * time.Second,
+	})
+	ctx := context.Background()
+
+	// SPF through the facade.
+	checker := &sendervalid.SPFChecker{
+		Resolver: res,
+		Options:  sendervalid.SPFOptions{Timeout: 10 * time.Second},
+	}
+	out := checker.CheckHost(ctx, netip.MustParseAddr("203.0.113.7"),
+		"corp.example", "ceo@corp.example", "mail.corp.example")
+	if out.Result != sendervalid.SPFPass {
+		t.Errorf("SPF: %s (%v)", out.Result, out.Err)
+	}
+	out = checker.CheckHost(ctx, netip.MustParseAddr("192.0.2.1"),
+		"corp.example", "ceo@corp.example", "x")
+	if out.Result != sendervalid.SPFFail {
+		t.Errorf("SPF spoof: %s", out.Result)
+	}
+
+	// DKIM through the facade.
+	signer := &sendervalid.DKIMSigner{Domain: "corp.example", Selector: "k1", Key: priv}
+	msg := []byte("From: ceo@corp.example\r\nSubject: hi\r\n\r\nbody\r\n")
+	signed, err := signer.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := &sendervalid.DKIMVerifier{Resolver: res}
+	if v := verifier.Verify(ctx, signed); v.Result != "pass" {
+		t.Errorf("DKIM: %s (%v)", v.Result, v.Err)
+	}
+
+	// DMARC through the facade.
+	evaluator := &sendervalid.DMARCEvaluator{Resolver: res}
+	eval := evaluator.Evaluate(ctx, sendervalid.DMARCInputs{
+		FromDomain: "corp.example",
+		SPFResult:  sendervalid.SPFPass, SPFDomain: "corp.example",
+	})
+	if eval.Result != "pass" {
+		t.Errorf("DMARC: %+v", eval)
+	}
+
+	// Record parsing helpers.
+	rec, err := sendervalid.ParseSPF("v=spf1 a mx -all")
+	if err != nil || len(rec.Mechanisms) != 3 {
+		t.Errorf("ParseSPF: %+v, %v", rec, err)
+	}
+	drec, err := sendervalid.ParseDMARC("v=DMARC1; p=quarantine")
+	if err != nil || drec.Policy != "quarantine" {
+		t.Errorf("ParseDMARC: %+v, %v", drec, err)
+	}
+	if od := sendervalid.OrganizationalDomain("mail.corp.example.co.uk"); od != "example.co.uk" {
+		t.Errorf("OrganizationalDomain: %q", od)
+	}
+
+	// SPF linter through the facade.
+	linter := &sendervalid.SPFLinter{}
+	report := linter.LintRecord("corp.example", "v=spf1 +all")
+	if len(report.Findings) == 0 {
+		t.Error("linter found nothing wrong with +all")
+	}
+}

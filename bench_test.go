@@ -1,0 +1,578 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index), plus
+// ablations of the design choices DESIGN.md calls out. Each benchmark
+// performs the real measurement per iteration — protocol traffic over
+// the in-process fabric and loopback DNS — at a reduced population
+// scale, and reports the paper-relevant statistic as a custom metric
+// so the shape can be compared against the published numbers.
+package sendervalid
+
+import (
+	"bytes"
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"sendervalid/internal/dataset"
+	"sendervalid/internal/dkim"
+	"sendervalid/internal/dns"
+	"sendervalid/internal/dnsserver"
+	"sendervalid/internal/experiment"
+	"sendervalid/internal/mtasim"
+	"sendervalid/internal/netsim"
+	"sendervalid/internal/policy"
+	"sendervalid/internal/probe"
+	"sendervalid/internal/resolver"
+	"sendervalid/internal/spf"
+)
+
+// benchScale is the per-population domain count for world-building
+// benchmarks. The paper ran at 26,695/22,548; the statistic shapes are
+// stable well below that.
+const benchScale = 150
+
+func notifySpec(seed int64) dataset.Spec {
+	spec := dataset.NotifyEmailSpec(seed)
+	spec.NumDomains = benchScale
+	spec.AlexaTop1M = benchScale / 9
+	spec.AlexaTop1K = benchScale / 30
+	return spec
+}
+
+func twoWeekSpec(seed int64) dataset.Spec {
+	spec := dataset.TwoWeekMXSpec(seed)
+	spec.NumDomains = benchScale
+	spec.LocalDomains = 2
+	return spec
+}
+
+func buildBenchWorld(b *testing.B, spec dataset.Spec, rates mtasim.Rates) *experiment.World {
+	b.Helper()
+	pop := dataset.Generate(spec)
+	w, err := experiment.BuildWorld(pop, experiment.WorldConfig{
+		Seed: spec.Seed, Rates: rates, TimeScale: 0.0002,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+	return w
+}
+
+// --- Table 1: TLD distribution ---
+
+func BenchmarkTable1TLDDistribution(b *testing.B) {
+	var comShare float64
+	for i := 0; i < b.N; i++ {
+		pop := dataset.Generate(notifySpec(int64(i)))
+		shares := pop.TLDShares()
+		comShare = shares[0].Weight
+	}
+	b.ReportMetric(100*comShare, "%com-share")
+}
+
+// --- Table 2: dataset sizes ---
+
+func BenchmarkTable2Datasets(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pop := dataset.Generate(twoWeekSpec(int64(i)))
+		v4, _ := pop.CountV4V6()
+		ratio = float64(v4) / float64(len(pop.Domains))
+	}
+	b.ReportMetric(ratio, "MTAs-per-domain")
+}
+
+// --- Table 3: AS distribution ---
+
+func BenchmarkTable3ASDistribution(b *testing.B) {
+	var topShare float64
+	for i := 0; i < b.N; i++ {
+		pop := dataset.Generate(twoWeekSpec(int64(i)))
+		topShare = pop.ASShares()[0].DomainShare
+	}
+	b.ReportMetric(100*topShare, "%top-AS-share")
+}
+
+// --- Table 4 + Tables 6/7 + Figure 2: the NotifyEmail experiment ---
+
+func BenchmarkTable4ValidationBreakdown(b *testing.B) {
+	w := buildBenchWorld(b, notifySpec(1), experiment.NotifyRates())
+	ctx := context.Background()
+	b.ResetTimer()
+	var allThree float64
+	for i := 0; i < b.N; i++ {
+		run := experiment.RunNotifyEmail(ctx, w, 32)
+		a := experiment.AnalyzeNotifyEmail(w, run)
+		allThree = 100 * float64(a.Combos["YYY"]) / float64(a.Domains)
+	}
+	b.ReportMetric(allThree, "%all-three") // paper: 53%
+}
+
+func BenchmarkTable6Providers(b *testing.B) {
+	w := buildBenchWorld(b, notifySpec(2), experiment.NotifyRates())
+	ctx := context.Background()
+	b.ResetTimer()
+	var matched float64
+	for i := 0; i < b.N; i++ {
+		run := experiment.RunNotifyEmail(ctx, w, 32)
+		a := experiment.AnalyzeNotifyEmail(w, run)
+		ok := 0
+		for _, row := range a.Providers {
+			if row.SPF == row.Expected.SPF && row.DKIM == row.Expected.DKIM {
+				ok++
+			}
+		}
+		matched = 100 * float64(ok) / float64(len(a.Providers))
+	}
+	b.ReportMetric(matched, "%provider-match") // expected: 100
+}
+
+func BenchmarkTable7Alexa(b *testing.B) {
+	w := buildBenchWorld(b, notifySpec(3), experiment.NotifyRates())
+	ctx := context.Background()
+	b.ResetTimer()
+	var top1M float64
+	for i := 0; i < b.N; i++ {
+		run := experiment.RunNotifyEmail(ctx, w, 32)
+		a := experiment.AnalyzeNotifyEmail(w, run)
+		if a.Alexa.Top1M > 0 {
+			top1M = 100 * float64(a.Alexa.SPFTop1M) / float64(a.Alexa.Top1M)
+		}
+	}
+	b.ReportMetric(top1M, "%SPF-top1M") // paper: 88%
+}
+
+func BenchmarkFigure2TimingHistogram(b *testing.B) {
+	w := buildBenchWorld(b, notifySpec(4), experiment.NotifyRates())
+	ctx := context.Background()
+	b.ResetTimer()
+	var negative float64
+	for i := 0; i < b.N; i++ {
+		run := experiment.RunNotifyEmail(ctx, w, 32)
+		a := experiment.AnalyzeNotifyEmail(w, run)
+		negative = 100 * experiment.Bucketize(a.TimingSamples).NegativeFraction()
+	}
+	b.ReportMetric(negative, "%validated-before-delivery") // paper: 83%
+}
+
+// --- Table 5: the probe experiments ---
+
+func BenchmarkTable5SPFValidating(b *testing.B) {
+	w := buildBenchWorld(b, notifySpec(5), experiment.NotifyRates())
+	ctx := context.Background()
+	b.ResetTimer()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		run := experiment.RunProbes(ctx, w, []string{"t12"}, 32)
+		a := experiment.AnalyzeProbes(w, run, false)
+		rate = 100 * float64(a.SPFDomains) / float64(a.Domains)
+	}
+	b.ReportMetric(rate, "%NotifyMX-validating") // paper: 51%
+}
+
+func BenchmarkTable5TwoWeekDeciles(b *testing.B) {
+	w := buildBenchWorld(b, twoWeekSpec(6), experiment.TwoWeekRates())
+	ctx := context.Background()
+	b.ResetTimer()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		run := experiment.RunProbes(ctx, w, []string{"t12"}, 32)
+		a := experiment.AnalyzeProbes(w, run, true)
+		rate = 100 * float64(a.SPFDomains) / float64(a.Domains)
+	}
+	b.ReportMetric(rate, "%TwoWeekMX-validating") // paper: 13%
+}
+
+// --- Figure 5 and §7 behaviours: the behaviour probes ---
+
+func BenchmarkFigure5LookupLimitCDF(b *testing.B) {
+	w := buildBenchWorld(b, notifySpec(7), experiment.NotifyRates())
+	ctx := context.Background()
+	b.ResetTimer()
+	var ranAll float64
+	for i := 0; i < b.N; i++ {
+		experiment.RunProbes(ctx, w, []string{"t02"}, 32)
+		ll := experiment.AnalyzeLookupLimits(w)
+		if ll.Tested > 0 {
+			ranAll = 100 * float64(ll.RanAll) / float64(ll.Tested)
+		}
+	}
+	b.ReportMetric(ranAll, "%ran-all-46") // paper: 28%
+}
+
+func BenchmarkSection71SerialParallel(b *testing.B) {
+	w := buildBenchWorld(b, notifySpec(8), experiment.NotifyRates())
+	ctx := context.Background()
+	b.ResetTimer()
+	var serial float64
+	for i := 0; i < b.N; i++ {
+		experiment.RunProbes(ctx, w, []string{"t01"}, 32)
+		sp := experiment.AnalyzeSerialParallel(w)
+		if sp.Tested > 0 {
+			serial = 100 * float64(sp.Serial) / float64(sp.Tested)
+		}
+	}
+	b.ReportMetric(serial, "%serial") // paper: 97%
+}
+
+// benchBehavior runs one behaviour test policy and reports a fraction.
+func benchBehavior(b *testing.B, seed int64, tests []string, metric string,
+	stat func(*experiment.BehaviorResults) experiment.SimpleShare) {
+	b.Helper()
+	w := buildBenchWorld(b, notifySpec(seed), experiment.NotifyRates())
+	ctx := context.Background()
+	b.ResetTimer()
+	var value float64
+	for i := 0; i < b.N; i++ {
+		experiment.RunProbes(ctx, w, tests, 32)
+		res := stat(experiment.AnalyzeBehaviors(w))
+		value = 100 * res.Fraction()
+	}
+	b.ReportMetric(value, metric)
+}
+
+func BenchmarkSection73HELOCheck(b *testing.B) {
+	benchBehavior(b, 9, []string{"t03"}, "%helo-checked",
+		func(r *experiment.BehaviorResults) experiment.SimpleShare { return r.HELOChecked }) // paper: 5%
+}
+
+func BenchmarkSection73SyntaxErrors(b *testing.B) {
+	benchBehavior(b, 10, []string{"t04", "t05"}, "%main-tolerant",
+		func(r *experiment.BehaviorResults) experiment.SimpleShare { return r.SyntaxMainTolerant }) // paper: 5.5%
+}
+
+func BenchmarkSection73VoidLookups(b *testing.B) {
+	benchBehavior(b, 11, []string{"t06"}, "%void-exceeded",
+		func(r *experiment.BehaviorResults) experiment.SimpleShare { return r.VoidExceeded }) // paper: 97%
+}
+
+func BenchmarkSection73MXFallback(b *testing.B) {
+	benchBehavior(b, 12, []string{"t07"}, "%mx-fallback",
+		func(r *experiment.BehaviorResults) experiment.SimpleShare { return r.MXFallback }) // paper: 14%
+}
+
+func BenchmarkSection73MultipleRecords(b *testing.B) {
+	benchBehavior(b, 13, []string{"t08"}, "%followed-none",
+		func(r *experiment.BehaviorResults) experiment.SimpleShare { return r.MultipleNone }) // paper: 77%
+}
+
+func BenchmarkSection73TCPFallback(b *testing.B) {
+	benchBehavior(b, 14, []string{"t09"}, "%tcp-retried",
+		func(r *experiment.BehaviorResults) experiment.SimpleShare { return r.TCPRetried }) // paper: 99.9%
+}
+
+func BenchmarkSection73IPv6(b *testing.B) {
+	pop := dataset.Generate(notifySpec(15))
+	w, err := experiment.BuildWorld(pop, experiment.WorldConfig{
+		Seed: 15, Rates: experiment.NotifyRates(), TimeScale: 0.0002,
+		EnableIPv6DNS: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+	ctx := context.Background()
+	b.ResetTimer()
+	var retrieved float64
+	for i := 0; i < b.N; i++ {
+		experiment.RunProbes(ctx, w, []string{"t10"}, 32)
+		res := experiment.AnalyzeBehaviors(w)
+		retrieved = 100 * res.IPv6Retrieved.Fraction()
+	}
+	b.ReportMetric(retrieved, "%ipv6-retrieved") // paper: 49%
+}
+
+func BenchmarkSection73MXLimit(b *testing.B) {
+	benchBehavior(b, 16, []string{"t11"}, "%all-20-mx",
+		func(r *experiment.BehaviorResults) experiment.SimpleShare { return r.MXAllTwenty }) // paper: 64%
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationSynthesisVsStatic quantifies what the paper's
+// on-the-fly synthesis avoids: materializing the 704 records per MTA
+// (27.8M total at paper scale) as static zone data.
+func BenchmarkAblationSynthesisVsStatic(b *testing.B) {
+	env := &policy.Env{Suffix: experiment.DefaultTestSuffix, TimeScale: 0}
+	responders := policy.Responders(env)
+
+	b.Run("synthesized", func(b *testing.B) {
+		b.ReportAllocs()
+		q := &dnsserver.Query{
+			Name: "t01.m000001." + experiment.DefaultTestSuffix,
+			Type: dns.TypeTXT, TestID: "t01", MTAID: "m000001",
+		}
+		for i := 0; i < b.N; i++ {
+			// One synthesized response per query; no per-MTA state.
+			_ = responders["t01"].Respond(q)
+		}
+	})
+	b.Run("static", func(b *testing.B) {
+		b.ReportAllocs()
+		// Materialize the per-MTA record set the way a static zone
+		// would, for as many MTAs as the benchmark iterates.
+		records := make(map[string]string)
+		for i := 0; i < b.N; i++ {
+			mta := fmt.Sprintf("m%06d", i)
+			for _, t := range policy.Catalog() {
+				base := t.ID + "." + mta + "." + experiment.DefaultTestSuffix
+				q := &dnsserver.Query{Name: base, Type: dns.TypeTXT, TestID: t.ID, MTAID: mta}
+				resp := responders[t.ID].Respond(q)
+				for _, rr := range resp.Records {
+					records[rr.Name] = rr.Data.String()
+				}
+			}
+		}
+		b.ReportMetric(float64(len(records))/float64(b.N), "records/MTA")
+	})
+}
+
+// BenchmarkAblationResolverScheduling contrasts serial and parallel
+// (prefetching) lookup strategies on the shaped t01 policy — the §7.1
+// question of which strategy wins on deep policies.
+func BenchmarkAblationResolverScheduling(b *testing.B) {
+	env := &policy.Env{Suffix: experiment.DefaultTestSuffix, TimeScale: 0.02} // 100ms -> 2ms
+	srv := &dnsserver.Server{Zones: []*dnsserver.Zone{{
+		Suffix: experiment.DefaultTestSuffix, Responders: policy.Responders(env),
+	}}}
+	addr, err := srv.Start()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	client := netip.MustParseAddr("198.18.0.1")
+	run := func(b *testing.B, prefetch bool) {
+		for i := 0; i < b.N; i++ {
+			res := resolver.New(resolver.Config{Server: addr.String()})
+			checker := &spf.Checker{Resolver: res, Options: spf.Options{
+				Prefetch: prefetch, Timeout: 20 * time.Second,
+			}}
+			domain := fmt.Sprintf("t01.s%d%v.%s", i, prefetch,
+				strings.TrimSuffix(experiment.DefaultTestSuffix, "."))
+			out := checker.CheckHost(context.Background(), client, domain,
+				"spf-test@"+domain, "bench.example")
+			if out.Result != spf.Fail {
+				b.Fatalf("unexpected result %s (%v)", out.Result, out.Err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, false) })
+	b.Run("parallel", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationLookupLimit quantifies the DNS load difference
+// between a compliant validator and a limit-ignoring one on the
+// Figure 4 limits policy.
+func BenchmarkAblationLookupLimit(b *testing.B) {
+	// TimeScale 1e-9 disables the 800 ms shaping (0 means unscaled).
+	env := &policy.Env{Suffix: experiment.DefaultTestSuffix, TimeScale: 1e-9}
+	log := &dnsserver.QueryLog{}
+	srv := &dnsserver.Server{
+		Zones: []*dnsserver.Zone{{
+			Suffix: experiment.DefaultTestSuffix, Responders: policy.Responders(env),
+		}},
+		Log: log,
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	client := netip.MustParseAddr("198.18.0.1")
+	run := func(b *testing.B, limit int) {
+		log.Reset()
+		for i := 0; i < b.N; i++ {
+			res := resolver.New(resolver.Config{Server: addr.String(), DisableCache: true})
+			checker := &spf.Checker{Resolver: res, Options: spf.Options{
+				LookupLimit: limit, VoidLookupLimit: -1, Timeout: 20 * time.Second,
+			}}
+			domain := fmt.Sprintf("t02.b%d.%s", i,
+				strings.TrimSuffix(experiment.DefaultTestSuffix, "."))
+			checker.CheckHost(context.Background(), client, domain,
+				"spf-test@"+domain, "bench.example")
+		}
+		b.ReportMetric(float64(log.Len())/float64(b.N), "dns-queries/eval")
+	}
+	b.Run("compliant", func(b *testing.B) { run(b, 0) })
+	b.Run("unlimited", func(b *testing.B) { run(b, -1) })
+}
+
+// BenchmarkAblationResolverCache measures repeated policy retrieval
+// with and without the stub resolver's cache.
+func BenchmarkAblationResolverCache(b *testing.B) {
+	env := &policy.Env{Suffix: experiment.DefaultTestSuffix, TimeScale: 1e-9}
+	srv := &dnsserver.Server{Zones: []*dnsserver.Zone{{
+		Suffix: experiment.DefaultTestSuffix, Responders: policy.Responders(env),
+	}}}
+	addr, err := srv.Start()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	name := "t12.cache." + experiment.DefaultTestSuffix
+	run := func(b *testing.B, disable bool) {
+		res := resolver.New(resolver.Config{Server: addr.String(), DisableCache: disable})
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := res.LookupTXT(ctx, name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cached", func(b *testing.B) { run(b, false) })
+	b.Run("uncached", func(b *testing.B) { run(b, true) })
+}
+
+// --- Protocol micro-benchmarks ---
+
+func BenchmarkDNSMessagePackUnpack(b *testing.B) {
+	msg := new(dns.Message).SetQuestion("t01.m000001."+experiment.DefaultTestSuffix, dns.TypeTXT)
+	msg.ID = 42
+	packed, err := msg.Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var m dns.Message
+		if err := m.Unpack(packed); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPFParse(b *testing.B) {
+	const record = "v=spf1 ip4:192.0.2.0/24 a:mail.example.com mx include:_spf.example.net exists:%{ir}.x.example.org -all"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spf.Parse(record); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSMTPProbeSession(b *testing.B) {
+	fabric := netsim.NewFabric()
+	mta := mtasim.New(mtasim.Config{
+		ID: "bench", Hostname: "bench.mx.example",
+		Addr4:   netip.MustParseAddr("203.0.113.99"),
+		Profile: mtasim.Profile{AcceptAnyUser: true},
+		Fabric:  fabric,
+	})
+	if err := mta.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(mta.Close)
+	client := &probe.Client{
+		Dialer: fabric, Suffix: "spf-test.dns-lab.example",
+		HeloDomain: "probe.example", RecipientDomain: "target.example",
+		Timeout: 5 * time.Second,
+	}
+	addr := netip.MustParseAddr("203.0.113.99")
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := client.Probe(ctx, addr, "bench", "t12")
+		if res.Stage != probe.StageDone {
+			b.Fatalf("probe: %+v", res)
+		}
+	}
+}
+
+// --- Extension benchmarks ---
+
+// BenchmarkFingerprintExtraction measures distilling behaviour vectors
+// and clustering from a realistic query log.
+func BenchmarkFingerprintExtraction(b *testing.B) {
+	w := buildBenchWorld(b, notifySpec(17), experiment.NotifyRates())
+	experiment.RunProbes(context.Background(), w,
+		[]string{"t01", "t02", "t06", "t07", "t08", "t11"}, 32)
+	entries := w.Log.Entries()
+	b.ResetTimer()
+	var families int
+	for i := 0; i < b.N; i++ {
+		clusters, _ := experiment.AnalyzeFingerprintEntries(entries)
+		families = len(clusters)
+	}
+	b.ReportMetric(float64(families), "families")
+}
+
+// BenchmarkDKIMSignVerify measures a full sign + verify round trip
+// (Ed25519, relaxed/relaxed) including the key lookup.
+func BenchmarkDKIMSignVerify(b *testing.B) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keyTXT, err := dkim.FormatKeyRecord(pub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := staticTXT{name: "s._domainkey.bench.example", txt: keyTXT}
+	msg := []byte("From: a@bench.example\r\nTo: b@x.example\r\nSubject: bench\r\n\r\nbody\r\n")
+	signer := &dkim.Signer{Domain: "bench.example", Selector: "s", Key: priv}
+	verifier := &dkim.Verifier{Resolver: res}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		signed, err := signer.Sign(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := verifier.Verify(ctx, signed); out.Result != dkim.ResultPass {
+			b.Fatalf("verify: %s (%v)", out.Result, out.Err)
+		}
+	}
+}
+
+type staticTXT struct{ name, txt string }
+
+func (s staticTXT) LookupTXT(ctx context.Context, name string) ([]string, error) {
+	if strings.TrimSuffix(name, ".") == s.name {
+		return []string{s.txt}, nil
+	}
+	return nil, nil
+}
+
+// BenchmarkQueryLogJSONRoundTrip measures log persistence, the
+// collect-then-analyze workflow's I/O cost.
+func BenchmarkQueryLogJSONRoundTrip(b *testing.B) {
+	w := buildBenchWorld(b, notifySpec(18), experiment.NotifyRates())
+	experiment.RunProbes(context.Background(), w, []string{"t01", "t12"}, 32)
+	b.ResetTimer()
+	var entries int
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := w.Log.WriteJSON(&buf); err != nil {
+			b.Fatal(err)
+		}
+		parsed, err := dnsserver.ReadLogJSON(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries = len(parsed)
+	}
+	b.ReportMetric(float64(entries), "entries")
+}

@@ -1,0 +1,69 @@
+// Command analyze runs the study's offline analyses over a saved
+// query log (JSON lines, as written by `experiment -log-out` or
+// QueryLog.WriteJSON). This mirrors the real study's workflow: the
+// authoritative server records raw queries during collection, and the
+// behaviour analyses — serial/parallel classification, lookup-limit
+// CDF, the §7.3 catalog, and validator fingerprinting — run afterwards
+// over the file, repeatably.
+//
+// Usage:
+//
+//	analyze -log queries.jsonl [-fingerprints 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sendervalid/internal/dnsserver"
+	"sendervalid/internal/experiment"
+	"sendervalid/internal/policy"
+)
+
+func main() {
+	var (
+		logPath = flag.String("log", "", "query log file (JSON lines; required)")
+		topFP   = flag.Int("fingerprints", 10, "behaviour families to show")
+	)
+	flag.Parse()
+	if *logPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*logPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	entries, err := dnsserver.ReadLogJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		os.Exit(1)
+	}
+
+	mtas := map[string]bool{}
+	tests := map[string]bool{}
+	for _, e := range entries {
+		if e.MTAID != "" {
+			mtas[e.MTAID] = true
+		}
+		if e.TestID != "" {
+			tests[e.TestID] = true
+		}
+	}
+	fmt.Printf("log: %d queries from %d MTAs across %d test policies\n\n",
+		len(entries), len(mtas), len(tests))
+
+	sp := experiment.AnalyzeSerialParallelEntries(entries)
+	ll := experiment.AnalyzeLookupLimitsEntries(entries)
+	b := experiment.AnalyzeBehaviorsEntries(entries)
+	if ll.Tested > 0 {
+		fmt.Print(experiment.RenderFigure5(ll, policy.LimitsDelay.Seconds()))
+	}
+	fmt.Print(experiment.RenderBehaviors(sp, b))
+
+	clusters, vectors := experiment.AnalyzeFingerprintEntries(entries)
+	fmt.Print(experiment.RenderFingerprints(clusters, vectors, *topFP))
+}

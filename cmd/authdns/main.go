@@ -1,0 +1,104 @@
+// Command authdns runs the study's synthesizing authoritative DNS
+// server standalone: the full 39-policy catalog under the test zone
+// and the NotifyEmail zone, with per-policy response shaping. Every
+// query is logged to stdout with its (testid, mtaid) attribution.
+//
+// Usage:
+//
+//	authdns [-addr 127.0.0.1:5300] [-addr6 "[::1]:5300"]
+//	        [-suffix spf-test.dns-lab.example] [-notify dsav-mail.dns-lab.example]
+//	        [-contact research@dns-lab.example] [-timescale 1.0]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"time"
+
+	"sendervalid/internal/dnsserver"
+	"sendervalid/internal/policy"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:5300", "IPv4 listen address")
+		addr6     = flag.String("addr6", "", "IPv6 listen address (e.g. \"[::1]:5300\"); empty disables")
+		suffix    = flag.String("suffix", "spf-test.dns-lab.example", "test-policy zone suffix")
+		notify    = flag.String("notify", "dsav-mail.dns-lab.example", "NotifyEmail zone suffix")
+		contact   = flag.String("contact", "research-contact@dns-lab.example", "attribution contact mailbox")
+		timeScale = flag.Float64("timescale", 1.0, "multiplier for the paper's 100ms/800ms response shaping")
+		sender4   = flag.String("sender4", "203.0.113.10", "sending MTA IPv4 (authorized by NotifyEmail SPF)")
+		sender6   = flag.String("sender6", "2001:db8:1::10", "sending MTA IPv6")
+		quiet     = flag.Bool("quiet", false, "suppress per-query log lines")
+	)
+	flag.Parse()
+
+	env := &policy.Env{Suffix: *suffix + ".", TimeScale: *timeScale}
+	notifyCfg := &policy.NotifyEmailConfig{
+		Suffix:    *notify + ".",
+		SenderV4:  netip.MustParseAddr(*sender4),
+		SenderV6:  netip.MustParseAddr(*sender6),
+		Contact:   *contact,
+		TimeScale: *timeScale,
+	}
+	log := &dnsserver.QueryLog{}
+	srv := &dnsserver.Server{
+		Addr4: *addr,
+		Addr6: *addr6,
+		Zones: []*dnsserver.Zone{
+			{
+				Suffix:     *suffix + ".",
+				Contact:    dnsserver.FormatContact(*contact),
+				Responders: policy.RespondersWithDMARC(env, *contact),
+			},
+			{
+				Suffix:     *notify + ".",
+				Contact:    dnsserver.FormatContact(*contact),
+				LabelDepth: 1,
+				Default:    notifyCfg.Responder(),
+			},
+		},
+		Log: log,
+	}
+	bound, err := srv.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "authdns: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("authdns: serving %s and %s on %s", *suffix, *notify, bound)
+	if a6 := srv.Addr6Bound(); a6 != nil {
+		fmt.Printf(" and %s", a6)
+	}
+	fmt.Printf(" (%d test policies, timescale %.3f)\n", len(policy.Catalog()), *timeScale)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	printed := 0
+	for {
+		select {
+		case <-ticker.C:
+			if *quiet {
+				continue
+			}
+			entries := log.Entries()
+			for _, e := range entries[printed:] {
+				fmt.Printf("%s %-4s %-5s test=%-4s mta=%-8s %s\n",
+					e.Time.Format("15:04:05.000"), e.Transport, e.Type, e.TestID, e.MTAID, e.Name)
+			}
+			printed = len(entries)
+		case <-stop:
+			fmt.Printf("authdns: %d queries served, shutting down\n", log.Len())
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+			return
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command experiment runs the full study end to end in one process —
+// synthesizing authoritative DNS, a simulated MTA fleet calibrated to
+// the paper's behaviour rates, and all three experiments — and prints
+// every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	experiment [-domains 2000] [-seed 1] [-workers 64] [-timescale 0.001]
+//	           [-all-tests] [-paper-scale]
+//
+// -paper-scale uses the full dataset sizes (26,695 / 22,548 domains);
+// expect a long run and tens of thousands of goroutines.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sendervalid/internal/dataset"
+	"sendervalid/internal/experiment"
+	"sendervalid/internal/policy"
+)
+
+func main() {
+	var (
+		domains    = flag.Int("domains", 2000, "domains per population (ignored with -paper-scale)")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		workers    = flag.Int("workers", 2*runtime.NumCPU(), "probe/delivery concurrency")
+		timeScale  = flag.Float64("timescale", 0.001, "protocol delay multiplier (1.0 = paper timing)")
+		allTests   = flag.Bool("all-tests", false, "probe all 39 policies instead of the reported core set")
+		paperScale = flag.Bool("paper-scale", false, "use the paper's full dataset sizes")
+		logOut     = flag.String("log-out", "", "write the TwoWeekMX query log (JSON lines) for offline analysis with cmd/analyze")
+	)
+	flag.Parse()
+
+	neSpec := dataset.NotifyEmailSpec(*seed)
+	twSpec := dataset.TwoWeekMXSpec(*seed + 1)
+	if !*paperScale {
+		neSpec.NumDomains = *domains
+		neSpec.AlexaTop1M = *domains / 9
+		neSpec.AlexaTop1K = *domains / 300
+		twSpec.NumDomains = *domains
+		twSpec.LocalDomains = max(2, *domains/800)
+	}
+
+	tests := experiment.CoreTests
+	if *allTests {
+		tests = experiment.AllTests()
+	}
+
+	start := time.Now()
+	ctx := context.Background()
+
+	fmt.Printf("== generating populations (seed %d) ==\n", *seed)
+	nePop := dataset.Generate(neSpec)
+	twPop := dataset.Generate(twSpec)
+	fmt.Print(experiment.RenderTable1(nePop, twPop))
+	fmt.Print(experiment.RenderTable2([]experiment.Table2Row{
+		experiment.Table2RowFor(nePop), experiment.Table2RowFor(twPop),
+	}))
+	fmt.Print(experiment.RenderTable3(nePop, twPop))
+
+	fmt.Printf("\n== NotifyEmail experiment: %d domains, %d MTAs ==\n",
+		len(nePop.Domains), len(nePop.MTAs))
+	neWorld, err := experiment.BuildWorld(nePop, experiment.WorldConfig{
+		Seed: *seed, Rates: experiment.NotifyRates(), TimeScale: *timeScale,
+		EnableIPv6DNS: true,
+	})
+	exitOn(err)
+	neRun := experiment.RunNotifyEmail(ctx, neWorld, *workers)
+	neAnalysis := experiment.AnalyzeNotifyEmail(neWorld, neRun)
+	fmt.Print(experiment.RenderTable4(neAnalysis))
+	fmt.Print(experiment.RenderTable6(neAnalysis))
+	fmt.Print(experiment.RenderTable7(neAnalysis))
+	fmt.Print(experiment.RenderFigure2(neAnalysis))
+	fmt.Printf("partial validators (§6.1): %d of %d SPF-validating domains\n",
+		neAnalysis.PartialDomains, neAnalysis.SPFDomains)
+	neWorld.Close()
+
+	fmt.Printf("\n== NotifyMX experiment: probing %d MTAs with %d tests ==\n",
+		len(nePop.MTAs), len(tests))
+	nmxWorld, err := experiment.BuildWorld(nePop, experiment.WorldConfig{
+		Seed: *seed + 7, Rates: experiment.NotifyRates(), TimeScale: *timeScale,
+		EnableIPv6DNS: true, ProfileDrift: 0.05,
+	})
+	exitOn(err)
+	nmxRun := experiment.RunProbes(ctx, nmxWorld, tests, *workers)
+	nmxAnalysis := experiment.AnalyzeProbes(nmxWorld, nmxRun, false)
+	nmxAnalysis.Name = "NotifyMX"
+	fmt.Printf("spam-rejecting MTAs: %d; blacklist-rejecting: %d\n",
+		nmxAnalysis.SpamRejected, nmxAnalysis.BlacklistRejected)
+	fmt.Print(experiment.RenderConsistency(experiment.Compare(nmxWorld, neAnalysis, nmxAnalysis)))
+	nmxWorld.Close()
+
+	fmt.Printf("\n== TwoWeekMX experiment: probing %d MTAs ==\n", len(twPop.MTAs))
+	twWorld, err := experiment.BuildWorld(twPop, experiment.WorldConfig{
+		Seed: *seed + 13, Rates: experiment.TwoWeekRates(), TimeScale: *timeScale,
+		EnableIPv6DNS: true,
+	})
+	exitOn(err)
+	twRun := experiment.RunProbes(ctx, twWorld, tests, *workers)
+	twAnalysis := experiment.AnalyzeProbes(twWorld, twRun, true)
+
+	fmt.Print(experiment.RenderTable5(
+		[]*experiment.ProbeAnalysis{nmxAnalysis, twAnalysis}, neAnalysis))
+
+	fmt.Println()
+	sp := experiment.AnalyzeSerialParallel(twWorld)
+	ll := experiment.AnalyzeLookupLimits(twWorld)
+	b := experiment.AnalyzeBehaviors(twWorld)
+	fmt.Print(experiment.RenderFigure5(ll, policy.LimitsDelay.Seconds()))
+	fmt.Print(experiment.RenderBehaviors(sp, b))
+	clusters, vectors := experiment.AnalyzeFingerprints(twWorld)
+	fmt.Print(experiment.RenderFingerprints(clusters, vectors, 8))
+	if *logOut != "" {
+		f, err := os.Create(*logOut)
+		exitOn(err)
+		exitOn(twWorld.Log.WriteJSON(f))
+		exitOn(f.Close())
+		fmt.Printf("query log written to %s (%d entries)\n", *logOut, twWorld.Log.Len())
+	}
+	twWorld.Close()
+
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,128 @@
+// Command selftest serves the sender-validation self-assessment web
+// tool the paper proposes in §8. It runs the instrumented DNS zone,
+// the test-message sender, and an HTTP front end; entering a mailbox
+// triggers one legitimate DKIM-signed delivery and a report on which
+// of SPF/DKIM/DMARC the receiving infrastructure validated.
+//
+// In -demo mode (the default) the tool also runs a small simulated MTA
+// fleet with assorted validation behaviours so the flow can be tried
+// immediately: assess operator@full.example, operator@spfonly.example,
+// operator@partial.example, operator@postdata.example, or
+// operator@none.example.
+//
+// Usage:
+//
+//	selftest [-listen 127.0.0.1:8080] [-zone selftest.dns-lab.example]
+package main
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"os"
+	"time"
+
+	"sendervalid/internal/dkim"
+	"sendervalid/internal/dnsserver"
+	"sendervalid/internal/mtasim"
+	"sendervalid/internal/netsim"
+	"sendervalid/internal/policy"
+	"sendervalid/internal/probe"
+	"sendervalid/internal/selftest"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		zone   = flag.String("zone", "selftest.dns-lab.example", "instrumented From-domain zone")
+	)
+	flag.Parse()
+
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	exitOn(err)
+	keyTXT, err := dkim.FormatKeyRecord(pub)
+	exitOn(err)
+
+	senderAddr := netip.MustParseAddr("203.0.113.40")
+	cfg := &policy.NotifyEmailConfig{
+		Suffix:        *zone + ".",
+		SenderV4:      senderAddr,
+		DKIMSelector:  "st",
+		DKIMKeyRecord: keyTXT,
+		Contact:       "selftest@" + *zone,
+		TimeScale:     0.01,
+	}
+	log := &dnsserver.QueryLog{}
+	srv := &dnsserver.Server{
+		Zones: []*dnsserver.Zone{{Suffix: *zone + ".", LabelDepth: 1, Default: cfg.Responder()}},
+		Log:   log,
+	}
+	dnsAddr, err := srv.Start()
+	exitOn(err)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	// The demo fleet: one MTA per behaviour archetype.
+	fabric := netsim.NewFabric()
+	demo := map[string]mtasim.Profile{
+		"full.example": {ValidatesSPF: true, ValidatesDKIM: true, ValidatesDMARC: true,
+			Phase: mtasim.AtData, AcceptAnyUser: true},
+		"spfonly.example":  {ValidatesSPF: true, Phase: mtasim.AtMail, AcceptAnyUser: true},
+		"partial.example":  {ValidatesSPF: true, PartialSPF: true, Phase: mtasim.AtMail, AcceptAnyUser: true},
+		"postdata.example": {ValidatesSPF: true, Phase: mtasim.PostData, AcceptAnyUser: true},
+		"none.example":     {AcceptAnyUser: true},
+	}
+	targets := make(map[string]netip.Addr)
+	host := 50
+	for domain, profile := range demo {
+		addr := netip.AddrFrom4([4]byte{198, 51, 100, byte(host)})
+		host++
+		mta := mtasim.New(mtasim.Config{
+			ID: domain, Hostname: "mx." + domain, Addr4: addr,
+			Profile: profile, Fabric: fabric, DNSAddr: dnsAddr.String(),
+			SPFTimeout: 10 * time.Second,
+		})
+		exitOn(mta.Start())
+		defer mta.Close()
+		targets[domain] = addr
+	}
+
+	service := &selftest.Service{
+		Sender: &probe.Sender{
+			Dialer:     fabric.BoundDialer(senderAddr, netip.Addr{}),
+			Suffix:     *zone,
+			HeloDomain: *zone,
+			Signer:     &dkim.Signer{Selector: "st", Key: priv},
+			ReplyTo:    "selftest@" + *zone,
+			Timeout:    10 * time.Second,
+		},
+		Log: log,
+		Targets: func(ctx context.Context, domain string) ([]probe.Target, error) {
+			addr, ok := targets[domain]
+			if !ok {
+				return nil, fmt.Errorf("domain %s is not part of the demo fleet", domain)
+			}
+			return []probe.Target{{Addr4: addr}}, nil
+		},
+		Settle: 500 * time.Millisecond,
+	}
+
+	fmt.Printf("selftest: serving on http://%s (DNS zone %s on %s)\n", *listen, *zone, dnsAddr)
+	fmt.Println("demo mailboxes: operator@full.example operator@spfonly.example " +
+		"operator@partial.example operator@postdata.example operator@none.example")
+	exitOn(http.ListenAndServe(*listen, &selftest.Handler{Service: service}))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selftest: %v\n", err)
+		os.Exit(1)
+	}
+}

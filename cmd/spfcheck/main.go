@@ -1,0 +1,86 @@
+// Command spfcheck evaluates SPF (RFC 7208) for a connection tuple
+// against a DNS server, printing the check_host() result and the
+// lookup counters.
+//
+// Usage:
+//
+//	spfcheck -ip 192.0.2.1 -from user@example.com [-helo mail.example.com]
+//	         [-server 127.0.0.1:53] [-limit 10] [-void 2] [-prefetch]
+//	         [-tolerate-syntax] [-follow-multiple]
+//
+// Without -server, the system resolver cannot be used (this module is
+// self-contained), so a server address is required.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"sendervalid/internal/resolver"
+	"sendervalid/internal/smtp"
+	"sendervalid/internal/spf"
+)
+
+func main() {
+	var (
+		ipFlag     = flag.String("ip", "", "connecting client IP (required)")
+		fromFlag   = flag.String("from", "", "MAIL FROM address (required)")
+		heloFlag   = flag.String("helo", "", "HELO/EHLO domain (default: From domain)")
+		serverFlag = flag.String("server", "", "DNS server address ip:port (required)")
+		limitFlag  = flag.Int("limit", 0, "DNS lookup limit (0 = RFC default 10, -1 = unlimited)")
+		voidFlag   = flag.Int("void", 0, "void lookup limit (0 = RFC default 2, -1 = unlimited)")
+		prefetch   = flag.Bool("prefetch", false, "resolve mechanisms in parallel (the 3% behaviour)")
+		tolerate   = flag.Bool("tolerate-syntax", false, "continue past syntax errors (a violation)")
+		followMany = flag.Bool("follow-multiple", false, "follow the first of multiple SPF records (a violation)")
+		timeoutS   = flag.Duration("timeout", 20*time.Second, "overall evaluation timeout")
+	)
+	flag.Parse()
+
+	if *ipFlag == "" || *fromFlag == "" || *serverFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ip, err := netip.ParseAddr(*ipFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spfcheck: bad -ip: %v\n", err)
+		os.Exit(2)
+	}
+	domain := smtp.DomainOf(*fromFlag)
+	if domain == "" {
+		domain = *fromFlag
+	}
+	helo := *heloFlag
+	if helo == "" {
+		helo = domain
+	}
+
+	res := resolver.New(resolver.Config{Server: *serverFlag})
+	checker := &spf.Checker{
+		Resolver: res,
+		Options: spf.Options{
+			LookupLimit:           *limitFlag,
+			VoidLookupLimit:       *voidFlag,
+			Prefetch:              *prefetch,
+			IgnoreSyntaxErrors:    *tolerate,
+			FollowMultipleRecords: *followMany,
+			Timeout:               *timeoutS,
+		},
+	}
+	out := checker.CheckHost(context.Background(), ip, domain, *fromFlag, helo)
+	fmt.Printf("result:       %s\n", out.Result)
+	fmt.Printf("dns lookups:  %d\n", out.Lookups)
+	fmt.Printf("void lookups: %d\n", out.VoidLookups)
+	if out.Explanation != "" {
+		fmt.Printf("explanation:  %s\n", out.Explanation)
+	}
+	if out.Err != nil {
+		fmt.Printf("detail:       %v\n", out.Err)
+	}
+	if out.Result == spf.TempError {
+		os.Exit(1)
+	}
+}

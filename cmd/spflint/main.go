@@ -1,0 +1,64 @@
+// Command spflint statically analyzes SPF deployments the way the
+// sender-side surveys cited by the paper (§3) did: syntax errors,
+// lookup-limit violations the policy forces on validators, deprecated
+// mechanisms, unsafe qualifiers, and dangling or looping includes.
+//
+// Usage:
+//
+//	spflint -record "v=spf1 a mx -all"                 # lint one record
+//	spflint -domain example.com -server 127.0.0.1:53   # lint a deployment
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sendervalid/internal/resolver"
+	"sendervalid/internal/spf"
+)
+
+func main() {
+	var (
+		record = flag.String("record", "", "SPF record text to lint in isolation")
+		domain = flag.String("domain", "", "domain whose published deployment to lint")
+		server = flag.String("server", "", "DNS server ip:port (required with -domain)")
+	)
+	flag.Parse()
+
+	var report *spf.LintReport
+	switch {
+	case *record != "":
+		l := &spf.Linter{}
+		report = l.LintRecord(*domain, *record)
+	case *domain != "" && *server != "":
+		res := resolver.New(resolver.Config{Server: *server, Timeout: 10 * time.Second})
+		l := &spf.Linter{Resolver: res}
+		var err error
+		report, err = l.Lint(context.Background(), *domain)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spflint: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if report.Record != "" {
+		fmt.Printf("record:  %s\n", report.Record)
+	}
+	fmt.Printf("lookups: %d (limit %d)\n", report.Lookups, spf.DefaultLookupLimit)
+	if len(report.Findings) == 0 {
+		fmt.Println("clean: no findings")
+		return
+	}
+	for _, f := range report.Findings {
+		fmt.Println(" ", f)
+	}
+	if report.MaxSeverity() >= spf.Error {
+		os.Exit(1)
+	}
+}

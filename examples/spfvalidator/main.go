@@ -1,0 +1,175 @@
+// spfvalidator: build a production-style validating mail receiver out
+// of the library's public pieces — the scenario the paper's
+// introduction motivates: a mail server that checks SPF at MAIL time,
+// verifies DKIM signatures on delivery, and enforces the sender
+// domain's DMARC policy.
+//
+// The example publishes policies for a legitimate sender domain in a
+// local authoritative server, then plays two deliveries against the
+// receiver: one from the authorized address with a valid DKIM
+// signature (accepted) and one spoofed (rejected by DMARC p=reject).
+//
+// Run with: go run ./examples/spfvalidator
+package main
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"sendervalid/internal/dkim"
+	"sendervalid/internal/dmarc"
+	"sendervalid/internal/dns"
+	"sendervalid/internal/dnsserver"
+	"sendervalid/internal/netsim"
+	"sendervalid/internal/resolver"
+	"sendervalid/internal/smtp"
+	"sendervalid/internal/spf"
+)
+
+const senderDomain = "legit-sender.example."
+
+var authorizedIP = netip.MustParseAddr("198.51.100.10")
+
+func main() {
+	// --- The sender domain's DNS: SPF, DKIM key, DMARC reject. ---
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	keyRecord, err := dkim.FormatKeyRecord(pub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	authdns := &dnsserver.Server{
+		Zones: []*dnsserver.Zone{{
+			Suffix:     senderDomain,
+			LabelDepth: 1,
+			Default: dnsserver.ResponderFunc(func(q *dnsserver.Query) dnsserver.Response {
+				if q.Type != dns.TypeTXT {
+					return dnsserver.Response{}
+				}
+				switch q.Name {
+				case senderDomain:
+					return dnsserver.Response{Records: []dns.RR{dnsserver.TXTRecord(
+						q.Name, fmt.Sprintf("v=spf1 ip4:%s -all", authorizedIP), 300)}}
+				case "mail._domainkey." + senderDomain:
+					return dnsserver.Response{Records: []dns.RR{dnsserver.TXTRecord(
+						q.Name, keyRecord, 300)}}
+				case "_dmarc." + senderDomain:
+					return dnsserver.Response{Records: []dns.RR{dnsserver.TXTRecord(
+						q.Name, "v=DMARC1; p=reject", 300)}}
+				}
+				return dnsserver.Response{}
+			}),
+		}},
+	}
+	dnsAddr, err := authdns.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = authdns.Shutdown(ctx)
+	}()
+
+	// --- The validating receiver. ---
+	res := resolver.New(resolver.Config{Server: dnsAddr.String()})
+	checker := &spf.Checker{Resolver: res, Options: spf.Options{Timeout: 10 * time.Second}}
+	verifier := &dkim.Verifier{Resolver: res}
+	evaluator := &dmarc.Evaluator{Resolver: res}
+
+	receiver := &smtp.Server{
+		Hostname: "mx.receiver.example",
+		Handler: smtp.Handler{
+			OnMail: func(s *smtp.Session, from string) *smtp.Reply {
+				out := checker.CheckHost(context.Background(), s.ClientIP,
+					smtp.DomainOf(from), from, s.Helo)
+				s.Meta["spf"] = out.Result
+				fmt.Printf("  [receiver] SPF for %s from %s: %s\n", from, s.ClientIP, out.Result)
+				return nil // defer enforcement to DMARC
+			},
+			OnMessage: func(s *smtp.Session, msg []byte) *smtp.Reply {
+				dk := verifier.Verify(context.Background(), msg)
+				fmt.Printf("  [receiver] DKIM: %s (d=%s)\n", dk.Result, dk.Domain)
+				parsed, err := dkim.ParseMessage(msg)
+				fromDomain := smtp.DomainOf(s.MailFrom)
+				if err == nil {
+					if d := dkim.AddressDomain(parsed.Get("From")); d != "" {
+						fromDomain = d
+					}
+				}
+				spfResult, _ := s.Meta["spf"].(spf.Result)
+				dm := evaluator.Evaluate(context.Background(), dmarc.Inputs{
+					FromDomain: fromDomain,
+					SPFResult:  spfResult, SPFDomain: smtp.DomainOf(s.MailFrom),
+					DKIMResult: dk.Result, DKIMDomain: dk.Domain,
+				})
+				fmt.Printf("  [receiver] DMARC: %s (disposition %s)\n", dm.Result, dm.Disposition)
+				if dm.Result == dmarc.ResultFail && dm.Disposition == dmarc.Reject {
+					return &smtp.Reply{Code: 550, Text: "5.7.1 rejected by DMARC policy"}
+				}
+				return nil
+			},
+		},
+	}
+	fabric := netsim.NewFabric()
+	mxAddr := netip.MustParseAddrPort("203.0.113.25:25")
+	ln, err := fabric.Listen(mxAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go receiver.Serve(ln)
+	defer receiver.Close()
+
+	// --- A legitimate, signed delivery from the authorized address. ---
+	message := "From: Alice <alice@legit-sender.example>\r\n" +
+		"To: bob@receiver.example\r\n" +
+		"Subject: quarterly report\r\n" +
+		"Date: Mon, 06 Jul 2026 09:00:00 +0000\r\n" +
+		"Message-ID: <q3@legit-sender.example>\r\n" +
+		"\r\nNumbers attached.\r\n"
+	signer := &dkim.Signer{Domain: "legit-sender.example", Selector: "mail", Key: priv}
+	signed, err := signer.Sign([]byte(message))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== legitimate delivery (authorized IP, valid signature) ===")
+	deliver(fabric, authorizedIP, mxAddr, "alice@legit-sender.example", signed)
+
+	fmt.Println("\n=== spoofed delivery (attacker IP, no signature) ===")
+	spoofed := "From: Alice <alice@legit-sender.example>\r\n" +
+		"To: bob@receiver.example\r\n" +
+		"Subject: urgent wire transfer\r\n" +
+		"\r\nPlease send funds immediately.\r\n"
+	deliver(fabric, netip.MustParseAddr("192.0.2.99"), mxAddr, "alice@legit-sender.example", []byte(spoofed))
+}
+
+func deliver(fabric *netsim.Fabric, sourceIP netip.Addr, mx netip.AddrPort, from string, msg []byte) {
+	dialer := fabric.BoundDialer(sourceIP, netip.Addr{})
+	c, err := smtp.Dial(context.Background(), dialer, mx.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Abort()
+	steps := []func() error{
+		func() error { return c.Hello("client.example") },
+		func() error { return c.Mail(from) },
+		func() error { return c.Rcpt("bob@receiver.example") },
+		func() error { return c.Data(msg) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			fmt.Printf("  [sender] delivery refused: %v\n", err)
+			return
+		}
+	}
+	fmt.Println("  [sender] message accepted")
+	_ = c.Quit()
+}

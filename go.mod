@@ -1,0 +1,3 @@
+module sendervalid
+
+go 1.24

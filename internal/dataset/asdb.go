@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// ASDB maps IP addresses to autonomous systems through a longest-
+// prefix-match table, the role CAIDA's Routeviews prefix-to-AS dataset
+// plays in the paper (§4.2). The table is built from a generated
+// population's address allocations, so analyses can attribute observed
+// addresses without reaching into dataset structs — the same indirection
+// the real study's pipeline has.
+type ASDB struct {
+	v4 []prefixEntry
+	v6 []prefixEntry
+}
+
+type prefixEntry struct {
+	prefix netip.Prefix
+	asn    int
+	name   string
+}
+
+// ASInfo is one lookup result.
+type ASInfo struct {
+	ASN  int
+	Name string
+}
+
+// BuildASDB derives the prefix table from a population: one announced
+// prefix per (AS, address block) actually in use.
+func BuildASDB(pop *Population) *ASDB {
+	db := &ASDB{}
+	seen4 := map[netip.Prefix]bool{}
+	seen6 := map[netip.Prefix]bool{}
+	for _, m := range pop.MTAs {
+		if m.Addr4.IsValid() {
+			p, err := m.Addr4.Prefix(16)
+			if err == nil && !seen4[p] {
+				seen4[p] = true
+				db.v4 = append(db.v4, prefixEntry{prefix: p, asn: m.ASN, name: m.ASName})
+			}
+		}
+		if m.Addr6.IsValid() {
+			p, err := m.Addr6.Prefix(32)
+			if err == nil && !seen6[p] {
+				seen6[p] = true
+				db.v6 = append(db.v6, prefixEntry{prefix: p, asn: m.ASN, name: m.ASName})
+			}
+		}
+	}
+	sortPrefixes(db.v4)
+	sortPrefixes(db.v6)
+	return db
+}
+
+func sortPrefixes(entries []prefixEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].prefix.Addr().Less(entries[j].prefix.Addr())
+	})
+}
+
+// Lookup maps an address to its announcing AS.
+func (db *ASDB) Lookup(addr netip.Addr) (ASInfo, bool) {
+	table := db.v4
+	if addr.Is6() && !addr.Is4In6() {
+		table = db.v6
+	}
+	addr = addr.Unmap()
+	// Binary search for the candidate prefix, then verify containment.
+	i := sort.Search(len(table), func(i int) bool {
+		return addr.Less(table[i].prefix.Addr())
+	})
+	for _, idx := range []int{i - 1, i} {
+		if idx >= 0 && idx < len(table) && table[idx].prefix.Contains(addr) {
+			return ASInfo{ASN: table[idx].asn, Name: table[idx].name}, true
+		}
+	}
+	return ASInfo{}, false
+}
+
+// Size returns the number of announced prefixes (v4, v6).
+func (db *ASDB) Size() (int, int) { return len(db.v4), len(db.v6) }
+
+// String summarizes the table.
+func (db *ASDB) String() string {
+	return fmt.Sprintf("asdb: %d v4 prefixes, %d v6 prefixes", len(db.v4), len(db.v6))
+}

@@ -1,0 +1,122 @@
+package dkim
+
+import (
+	"strings"
+)
+
+// Canonicalization is a DKIM canonicalization algorithm name.
+type Canonicalization string
+
+// The two canonicalization algorithms (RFC 6376 §3.4).
+const (
+	Simple  Canonicalization = "simple"
+	Relaxed Canonicalization = "relaxed"
+)
+
+// ParseCanonicalization parses the c= tag value
+// ("header/body", "header", or "" meaning simple/simple).
+func ParseCanonicalization(c string) (header, body Canonicalization, ok bool) {
+	if c == "" {
+		return Simple, Simple, true
+	}
+	h, b, hasBody := strings.Cut(c, "/")
+	header = Canonicalization(h)
+	body = Simple
+	if hasBody {
+		body = Canonicalization(b)
+	}
+	if header != Simple && header != Relaxed {
+		return "", "", false
+	}
+	if body != Simple && body != Relaxed {
+		return "", "", false
+	}
+	return header, body, true
+}
+
+// CanonicalizeHeader canonicalizes one header field for hashing.
+// The result includes the trailing CRLF for simple mode; relaxed mode
+// appends CRLF per RFC 6376 §3.4.2.
+func CanonicalizeHeader(h Header, c Canonicalization) string {
+	if c == Simple {
+		return h.Raw
+	}
+	name := strings.ToLower(strings.TrimSpace(h.Name))
+	value := unfold(h.Value)
+	value = collapseWSP(value)
+	value = strings.TrimSpace(value)
+	return name + ":" + value + "\r\n"
+}
+
+// collapseWSP reduces every run of spaces/tabs to a single space.
+func collapseWSP(s string) string {
+	var sb strings.Builder
+	inWSP := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' {
+			inWSP = true
+			continue
+		}
+		if inWSP && sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		inWSP = false
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}
+
+// CanonicalizeBody canonicalizes a message body for hashing
+// (RFC 6376 §3.4.3–3.4.4).
+func CanonicalizeBody(body []byte, c Canonicalization) []byte {
+	// Normalize line endings to CRLF first; both canonicalizations are
+	// defined over CRLF-delimited text.
+	text := strings.ReplaceAll(string(body), "\r\n", "\n")
+	lines := strings.Split(text, "\n")
+	// A trailing newline produces one empty trailing element; treat the
+	// content as the lines before it.
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+
+	if c == Relaxed {
+		for i, line := range lines {
+			line = collapseWSP(line)
+			lines[i] = strings.TrimRight(line, " ")
+		}
+	}
+
+	// Both modes strip trailing empty lines.
+	for len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+
+	if len(lines) == 0 {
+		if c == Simple {
+			return []byte("\r\n") // simple: empty body hashes as CRLF
+		}
+		return nil // relaxed: empty body hashes as empty
+	}
+	return []byte(strings.Join(lines, "\r\n") + "\r\n")
+}
+
+// selectHeaders picks the headers named in the h= tag, honouring the
+// RFC 6376 §5.4.2 rule: for repeated names, instances are consumed
+// bottom-up, and names may be listed more times than they occur (the
+// extras select nothing and guard against header addition in transit).
+func selectHeaders(headers []Header, names []string) []Header {
+	used := make([]bool, len(headers))
+	var out []Header
+	for _, want := range names {
+		for i := len(headers) - 1; i >= 0; i-- {
+			if used[i] || !strings.EqualFold(strings.TrimSpace(headers[i].Name), strings.TrimSpace(want)) {
+				continue
+			}
+			used[i] = true
+			out = append(out, headers[i])
+			break
+		}
+	}
+	return out
+}

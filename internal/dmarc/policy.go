@@ -1,0 +1,196 @@
+// Package dmarc implements Domain-based Message Authentication,
+// Reporting, and Conformance (RFC 7489): policy records, discovery
+// with organizational-domain fallback, SPF/DKIM identifier alignment,
+// and disposition. DMARC requires that either SPF or DKIM pass *and*
+// align with the RFC5322.From domain; the measurement study publishes
+// a strict reject policy for every experimental From domain
+// (paper §4.3) and counts MTAs that query _dmarc.<domain> as
+// DMARC-validating.
+package dmarc
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Disposition is a requested receiver action (p=/sp= tag).
+type Disposition string
+
+// The three dispositions.
+const (
+	None       Disposition = "none"
+	Quarantine Disposition = "quarantine"
+	Reject     Disposition = "reject"
+)
+
+// AlignmentMode is an identifier-alignment mode (adkim=/aspf= tag).
+type AlignmentMode string
+
+// Alignment modes.
+const (
+	Relaxed AlignmentMode = "r"
+	Strict  AlignmentMode = "s"
+)
+
+// Record is a parsed DMARC policy record (RFC 7489 §6.3).
+type Record struct {
+	// Policy is the p= disposition for the exact domain.
+	Policy Disposition
+	// SubdomainPolicy is the sp= disposition; empty means Policy.
+	SubdomainPolicy Disposition
+	// DKIMAlignment and SPFAlignment are adkim=/aspf=; default relaxed.
+	DKIMAlignment AlignmentMode
+	SPFAlignment  AlignmentMode
+	// Percent is the pct= sampling rate, 0–100; default 100.
+	Percent int
+	// AggregateURIs and FailureURIs are rua=/ruf= report addresses —
+	// the channel through which the study publishes its contact
+	// address (paper §5.3).
+	AggregateURIs []string
+	FailureURIs   []string
+}
+
+// ErrNotDMARC reports a TXT record that is not a DMARC policy.
+var ErrNotDMARC = errors.New("dmarc: not a DMARC record")
+
+// IsDMARC reports whether a TXT payload begins with the DMARC version
+// tag.
+func IsDMARC(txt string) bool {
+	return txt == "v=DMARC1" || strings.HasPrefix(txt, "v=DMARC1;") ||
+		strings.HasPrefix(txt, "v=DMARC1 ")
+}
+
+// Parse parses a DMARC policy record.
+func Parse(txt string) (*Record, error) {
+	if !IsDMARC(txt) {
+		return nil, ErrNotDMARC
+	}
+	rec := &Record{
+		DKIMAlignment: Relaxed,
+		SPFAlignment:  Relaxed,
+		Percent:       100,
+	}
+	sawPolicy := false
+	for i, tag := range strings.Split(txt, ";") {
+		tag = strings.TrimSpace(tag)
+		if tag == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(tag, "=")
+		if !ok {
+			return nil, fmt.Errorf("dmarc: tag %q lacks '='", tag)
+		}
+		name = strings.TrimSpace(strings.ToLower(name))
+		value = strings.TrimSpace(value)
+		switch name {
+		case "v":
+			if i != 0 || value != "DMARC1" {
+				return nil, fmt.Errorf("dmarc: bad version tag %q", value)
+			}
+		case "p":
+			d, err := parseDisposition(value)
+			if err != nil {
+				return nil, err
+			}
+			rec.Policy = d
+			sawPolicy = true
+		case "sp":
+			d, err := parseDisposition(value)
+			if err != nil {
+				return nil, err
+			}
+			rec.SubdomainPolicy = d
+		case "adkim":
+			m, err := parseAlignment(value)
+			if err != nil {
+				return nil, err
+			}
+			rec.DKIMAlignment = m
+		case "aspf":
+			m, err := parseAlignment(value)
+			if err != nil {
+				return nil, err
+			}
+			rec.SPFAlignment = m
+		case "pct":
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 || n > 100 {
+				return nil, fmt.Errorf("dmarc: bad pct %q", value)
+			}
+			rec.Percent = n
+		case "rua":
+			rec.AggregateURIs = splitURIs(value)
+		case "ruf":
+			rec.FailureURIs = splitURIs(value)
+		default:
+			// Unknown tags are ignored per specification.
+		}
+	}
+	if !sawPolicy {
+		return nil, errors.New("dmarc: record lacks required p= tag")
+	}
+	return rec, nil
+}
+
+func parseDisposition(v string) (Disposition, error) {
+	switch Disposition(strings.ToLower(v)) {
+	case None, Quarantine, Reject:
+		return Disposition(strings.ToLower(v)), nil
+	}
+	return "", fmt.Errorf("dmarc: bad disposition %q", v)
+}
+
+func parseAlignment(v string) (AlignmentMode, error) {
+	switch AlignmentMode(strings.ToLower(v)) {
+	case Relaxed, Strict:
+		return AlignmentMode(strings.ToLower(v)), nil
+	}
+	return "", fmt.Errorf("dmarc: bad alignment mode %q", v)
+}
+
+func splitURIs(v string) []string {
+	var out []string
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// PolicyFor returns the disposition applicable to the evaluated domain
+// given whether the record was found at the exact domain or inherited
+// from the organizational domain.
+func (r *Record) PolicyFor(subdomain bool) Disposition {
+	if subdomain && r.SubdomainPolicy != "" {
+		return r.SubdomainPolicy
+	}
+	return r.Policy
+}
+
+// String renders the record in canonical tag form.
+func (r *Record) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v=DMARC1; p=%s", r.Policy)
+	if r.SubdomainPolicy != "" {
+		fmt.Fprintf(&sb, "; sp=%s", r.SubdomainPolicy)
+	}
+	if r.DKIMAlignment != Relaxed {
+		fmt.Fprintf(&sb, "; adkim=%s", r.DKIMAlignment)
+	}
+	if r.SPFAlignment != Relaxed {
+		fmt.Fprintf(&sb, "; aspf=%s", r.SPFAlignment)
+	}
+	if r.Percent != 100 {
+		fmt.Fprintf(&sb, "; pct=%d", r.Percent)
+	}
+	if len(r.AggregateURIs) > 0 {
+		fmt.Fprintf(&sb, "; rua=%s", strings.Join(r.AggregateURIs, ","))
+	}
+	if len(r.FailureURIs) > 0 {
+		fmt.Fprintf(&sb, "; ruf=%s", strings.Join(r.FailureURIs, ","))
+	}
+	return sb.String()
+}

@@ -1,0 +1,299 @@
+package dmarc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file implements DMARC aggregate feedback reports (RFC 7489
+// §7.2 and Appendix C): the XML documents receivers mail to the
+// addresses in a domain's rua= tag. The measurement study published a
+// rua= address on every experimental From domain (paper §5.3), making
+// aggregate reports one of its attribution channels; a receiver-side
+// deployment built on this package can both consume and emit them.
+
+// Feedback is the root element of an aggregate report.
+type Feedback struct {
+	XMLName         xml.Name        `xml:"feedback"`
+	ReportMetadata  ReportMetadata  `xml:"report_metadata"`
+	PolicyPublished PolicyPublished `xml:"policy_published"`
+	Records         []ReportRecord  `xml:"record"`
+}
+
+// ReportMetadata identifies the reporting organization and window.
+type ReportMetadata struct {
+	OrgName   string    `xml:"org_name"`
+	Email     string    `xml:"email"`
+	ReportID  string    `xml:"report_id"`
+	DateRange DateRange `xml:"date_range"`
+}
+
+// DateRange is the reporting window in Unix seconds.
+type DateRange struct {
+	Begin int64 `xml:"begin"`
+	End   int64 `xml:"end"`
+}
+
+// PolicyPublished echoes the policy the report was evaluated against.
+type PolicyPublished struct {
+	Domain          string `xml:"domain"`
+	ADKIM           string `xml:"adkim,omitempty"`
+	ASPF            string `xml:"aspf,omitempty"`
+	Policy          string `xml:"p"`
+	SubdomainPolicy string `xml:"sp,omitempty"`
+	Percent         int    `xml:"pct"`
+}
+
+// ReportRecord aggregates the messages observed from one source.
+type ReportRecord struct {
+	Row         Row         `xml:"row"`
+	Identifiers Identifiers `xml:"identifiers"`
+	AuthResults AuthResults `xml:"auth_results"`
+}
+
+// Row carries the source address, count, and applied policy.
+type Row struct {
+	SourceIP        string          `xml:"source_ip"`
+	Count           int             `xml:"count"`
+	PolicyEvaluated PolicyEvaluated `xml:"policy_evaluated"`
+}
+
+// PolicyEvaluated is the disposition and per-mechanism DMARC results.
+type PolicyEvaluated struct {
+	Disposition string `xml:"disposition"`
+	DKIM        string `xml:"dkim"`
+	SPF         string `xml:"spf"`
+}
+
+// Identifiers carries the identities evaluated.
+type Identifiers struct {
+	HeaderFrom   string `xml:"header_from"`
+	EnvelopeFrom string `xml:"envelope_from,omitempty"`
+}
+
+// AuthResults carries raw SPF/DKIM outcomes.
+type AuthResults struct {
+	DKIM []DKIMAuthResult `xml:"dkim,omitempty"`
+	SPF  []SPFAuthResult  `xml:"spf"`
+}
+
+// DKIMAuthResult is one DKIM verification outcome.
+type DKIMAuthResult struct {
+	Domain   string `xml:"domain"`
+	Selector string `xml:"selector,omitempty"`
+	Result   string `xml:"result"`
+}
+
+// SPFAuthResult is one SPF evaluation outcome.
+type SPFAuthResult struct {
+	Domain string `xml:"domain"`
+	Scope  string `xml:"scope,omitempty"`
+	Result string `xml:"result"`
+}
+
+// MarshalReport renders the report as an XML document.
+func MarshalReport(f *Feedback) ([]byte, error) {
+	body, err := xml.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("dmarc: marshaling report: %w", err)
+	}
+	return append([]byte(xml.Header), append(body, '\n')...), nil
+}
+
+// ParseReport parses an aggregate report document.
+func ParseReport(data []byte) (*Feedback, error) {
+	var f Feedback
+	if err := xml.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("dmarc: parsing report: %w", err)
+	}
+	if f.PolicyPublished.Domain == "" {
+		return nil, fmt.Errorf("dmarc: report lacks policy_published domain")
+	}
+	return &f, nil
+}
+
+// Observation is one evaluated message fed to an Accumulator.
+type Observation struct {
+	SourceIP     netip.Addr
+	HeaderFrom   string
+	EnvelopeFrom string
+	Evaluation   *Evaluation
+	// SPFResult/SPFDomain and DKIMResult/DKIMDomain echo the raw
+	// authentication outcomes for the auth_results section.
+	SPFResult  string
+	SPFDomain  string
+	DKIMResult string
+	DKIMDomain string
+}
+
+// Accumulator aggregates observations for one policy domain into the
+// per-source rows of an aggregate report. It is safe for concurrent
+// use by a receiving MTA's delivery paths.
+type Accumulator struct {
+	// OrgName and Email identify the reporting organization.
+	OrgName string
+	Email   string
+	// Domain is the policy domain reported on.
+	Domain string
+
+	mu     sync.Mutex
+	policy *Record
+	rows   map[rowKey]*rowAgg
+	begin  time.Time
+	end    time.Time
+}
+
+type rowKey struct {
+	source      string
+	disposition Disposition
+	spf         Result
+	dkim        Result
+	headerFrom  string
+}
+
+type rowAgg struct {
+	count int
+	obs   Observation
+}
+
+// Add records one observation. Observations without a discovered
+// policy are ignored (no policy, nothing to report on).
+func (a *Accumulator) Add(now time.Time, obs Observation) {
+	if obs.Evaluation == nil || obs.Evaluation.Record == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.rows == nil {
+		a.rows = make(map[rowKey]*rowAgg)
+	}
+	if a.policy == nil {
+		a.policy = obs.Evaluation.Record
+	}
+	if a.begin.IsZero() || now.Before(a.begin) {
+		a.begin = now
+	}
+	if now.After(a.end) {
+		a.end = now
+	}
+
+	spfResult, dkimResult := Result(ResultFail), Result(ResultFail)
+	if obs.Evaluation.SPFAligned {
+		spfResult = ResultPass
+	}
+	if obs.Evaluation.DKIMAligned {
+		dkimResult = ResultPass
+	}
+	key := rowKey{
+		source:      obs.SourceIP.String(),
+		disposition: obs.Evaluation.Disposition,
+		spf:         spfResult,
+		dkim:        dkimResult,
+		headerFrom:  strings.ToLower(obs.HeaderFrom),
+	}
+	agg := a.rows[key]
+	if agg == nil {
+		agg = &rowAgg{obs: obs}
+		a.rows[key] = agg
+	}
+	agg.count++
+}
+
+// Len returns the number of distinct rows accumulated.
+func (a *Accumulator) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.rows)
+}
+
+// Report builds the aggregate report and resets the accumulator.
+// It returns nil when nothing was observed.
+func (a *Accumulator) Report(reportID string) *Feedback {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.rows) == 0 {
+		return nil
+	}
+	f := &Feedback{
+		ReportMetadata: ReportMetadata{
+			OrgName:  a.OrgName,
+			Email:    a.Email,
+			ReportID: reportID,
+			DateRange: DateRange{
+				Begin: a.begin.Unix(),
+				End:   a.end.Unix(),
+			},
+		},
+		PolicyPublished: publishedFrom(a.Domain, a.policy),
+	}
+	keys := make([]rowKey, 0, len(a.rows))
+	for k := range a.rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].source != keys[j].source {
+			return keys[i].source < keys[j].source
+		}
+		return keys[i].headerFrom < keys[j].headerFrom
+	})
+	for _, k := range keys {
+		agg := a.rows[k]
+		rec := ReportRecord{
+			Row: Row{
+				SourceIP: k.source,
+				Count:    agg.count,
+				PolicyEvaluated: PolicyEvaluated{
+					Disposition: string(k.disposition),
+					DKIM:        string(k.dkim),
+					SPF:         string(k.spf),
+				},
+			},
+			Identifiers: Identifiers{
+				HeaderFrom:   k.headerFrom,
+				EnvelopeFrom: agg.obs.EnvelopeFrom,
+			},
+			AuthResults: AuthResults{
+				SPF: []SPFAuthResult{{
+					Domain: agg.obs.SPFDomain,
+					Scope:  "mfrom",
+					Result: agg.obs.SPFResult,
+				}},
+			},
+		}
+		if agg.obs.DKIMResult != "" && agg.obs.DKIMResult != "none" {
+			rec.AuthResults.DKIM = append(rec.AuthResults.DKIM, DKIMAuthResult{
+				Domain: agg.obs.DKIMDomain,
+				Result: agg.obs.DKIMResult,
+			})
+		}
+		f.Records = append(f.Records, rec)
+	}
+	a.rows = nil
+	a.begin, a.end = time.Time{}, time.Time{}
+	return f
+}
+
+func publishedFrom(domain string, rec *Record) PolicyPublished {
+	p := PolicyPublished{Domain: domain, Percent: 100, Policy: string(None)}
+	if rec != nil {
+		p.Policy = string(rec.Policy)
+		p.SubdomainPolicy = string(rec.SubdomainPolicy)
+		p.ADKIM = string(rec.DKIMAlignment)
+		p.ASPF = string(rec.SPFAlignment)
+		p.Percent = rec.Percent
+	}
+	return p
+}
+
+// ReportFilename returns the RFC 7489 §7.2.1.1 filename for a report:
+// receiver "!" policy-domain "!" begin "!" end ".xml".
+func ReportFilename(receiver, policyDomain string, r DateRange) string {
+	return fmt.Sprintf("%s!%s!%d!%d.xml",
+		strings.TrimSuffix(receiver, "."), strings.TrimSuffix(policyDomain, "."),
+		r.Begin, r.End)
+}

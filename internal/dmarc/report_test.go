@@ -1,0 +1,162 @@
+package dmarc
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleEvaluation(t *testing.T, spfAligned bool) *Evaluation {
+	t.Helper()
+	rec, err := Parse("v=DMARC1; p=reject; adkim=r; aspf=r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &Evaluation{Record: rec, SPFAligned: spfAligned}
+	if spfAligned {
+		ev.Result = ResultPass
+		ev.Disposition = None
+	} else {
+		ev.Result = ResultFail
+		ev.Disposition = Reject
+	}
+	return ev
+}
+
+func TestAccumulatorAggregation(t *testing.T) {
+	acc := &Accumulator{OrgName: "receiver.example", Email: "dmarc@receiver.example",
+		Domain: "victim.example"}
+	now := time.Unix(1_600_000_000, 0)
+
+	// Three messages from the same spoofing source, one legit.
+	spoof := Observation{
+		SourceIP:     netip.MustParseAddr("192.0.2.66"),
+		HeaderFrom:   "victim.example",
+		EnvelopeFrom: "spoof@victim.example",
+		Evaluation:   sampleEvaluation(t, false),
+		SPFResult:    "fail", SPFDomain: "victim.example",
+		DKIMResult: "none",
+	}
+	for i := 0; i < 3; i++ {
+		acc.Add(now.Add(time.Duration(i)*time.Hour), spoof)
+	}
+	legit := Observation{
+		SourceIP:     netip.MustParseAddr("203.0.113.10"),
+		HeaderFrom:   "victim.example",
+		EnvelopeFrom: "news@victim.example",
+		Evaluation:   sampleEvaluation(t, true),
+		SPFResult:    "pass", SPFDomain: "victim.example",
+		DKIMResult: "pass", DKIMDomain: "victim.example",
+	}
+	acc.Add(now.Add(30*time.Minute), legit)
+
+	if acc.Len() != 2 {
+		t.Fatalf("rows: %d", acc.Len())
+	}
+	f := acc.Report("r-001")
+	if f == nil {
+		t.Fatal("nil report")
+	}
+	if len(f.Records) != 2 {
+		t.Fatalf("records: %d", len(f.Records))
+	}
+	// Rows sort by source IP: 192.0.2.66 first.
+	spoofRow := f.Records[0]
+	if spoofRow.Row.SourceIP != "192.0.2.66" || spoofRow.Row.Count != 3 {
+		t.Errorf("spoof row: %+v", spoofRow.Row)
+	}
+	if spoofRow.Row.PolicyEvaluated.Disposition != "reject" ||
+		spoofRow.Row.PolicyEvaluated.SPF != "fail" {
+		t.Errorf("spoof policy: %+v", spoofRow.Row.PolicyEvaluated)
+	}
+	if len(spoofRow.AuthResults.DKIM) != 0 {
+		t.Errorf("spoof row has DKIM auth results: %+v", spoofRow.AuthResults)
+	}
+	legitRow := f.Records[1]
+	if legitRow.Row.Count != 1 || legitRow.Row.PolicyEvaluated.Disposition != "none" {
+		t.Errorf("legit row: %+v", legitRow.Row)
+	}
+	if len(legitRow.AuthResults.DKIM) != 1 || legitRow.AuthResults.DKIM[0].Result != "pass" {
+		t.Errorf("legit DKIM: %+v", legitRow.AuthResults)
+	}
+	// Window covers earliest to latest observation.
+	if f.ReportMetadata.DateRange.Begin != now.Unix() ||
+		f.ReportMetadata.DateRange.End != now.Add(2*time.Hour).Unix() {
+		t.Errorf("window: %+v", f.ReportMetadata.DateRange)
+	}
+	// The accumulator resets after reporting.
+	if acc.Len() != 0 || acc.Report("r-002") != nil {
+		t.Error("accumulator not reset")
+	}
+}
+
+func TestAccumulatorIgnoresPolicyless(t *testing.T) {
+	acc := &Accumulator{Domain: "x.example"}
+	acc.Add(time.Now(), Observation{Evaluation: &Evaluation{Result: ResultNone}})
+	acc.Add(time.Now(), Observation{})
+	if acc.Len() != 0 {
+		t.Errorf("rows: %d", acc.Len())
+	}
+}
+
+func TestReportXMLRoundTrip(t *testing.T) {
+	acc := &Accumulator{OrgName: "receiver.example", Email: "dmarc@receiver.example",
+		Domain: "victim.example"}
+	acc.Add(time.Unix(1_600_000_000, 0), Observation{
+		SourceIP:   netip.MustParseAddr("192.0.2.66"),
+		HeaderFrom: "victim.example",
+		Evaluation: sampleEvaluation(t, false),
+		SPFResult:  "fail", SPFDomain: "victim.example",
+	})
+	f := acc.Report("roundtrip-1")
+	data, err := MarshalReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"<?xml", "<feedback>", "<org_name>receiver.example</org_name>",
+		"<report_id>roundtrip-1</report_id>", "<domain>victim.example</domain>",
+		"<p>reject</p>", "<source_ip>192.0.2.66</source_ip>",
+		"<disposition>reject</disposition>", "<header_from>victim.example</header_from>",
+		`<scope>mfrom</scope>`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report XML missing %q:\n%s", want, text)
+		}
+	}
+	parsed, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.PolicyPublished.Domain != "victim.example" ||
+		len(parsed.Records) != 1 ||
+		parsed.Records[0].Row.Count != 1 {
+		t.Errorf("round trip: %+v", parsed)
+	}
+}
+
+func TestParseReportErrors(t *testing.T) {
+	if _, err := ParseReport([]byte("not xml at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ParseReport([]byte("<feedback></feedback>")); err == nil {
+		t.Error("domainless report accepted")
+	}
+}
+
+func TestReportFilename(t *testing.T) {
+	name := ReportFilename("receiver.example.", "victim.example",
+		DateRange{Begin: 100, End: 200})
+	if name != "receiver.example!victim.example!100!200.xml" {
+		t.Errorf("filename %q", name)
+	}
+}
+
+func TestPublishedFromDefaults(t *testing.T) {
+	p := publishedFrom("x.example", nil)
+	if p.Policy != "none" || p.Percent != 100 {
+		t.Errorf("nil-record published: %+v", p)
+	}
+}

@@ -1,0 +1,207 @@
+package dns
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client exchange errors.
+var (
+	ErrIDMismatch = errors.New("dns: response ID does not match query")
+	ErrNotReply   = errors.New("dns: response flag not set")
+)
+
+// Dialer abstracts connection establishment so exchanges can run over
+// real sockets or a simulated network fabric.
+type Dialer interface {
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
+}
+
+// Client performs DNS exchanges over UDP and TCP.
+//
+// A zero Client is usable: UDP with a 5-second timeout and automatic
+// TCP retry on truncation.
+type Client struct {
+	// Dialer establishes connections. nil means a net.Dialer.
+	Dialer Dialer
+	// Timeout bounds a single exchange. Zero means 5 seconds.
+	Timeout time.Duration
+	// UDPSize is the EDNS0 payload size advertised on UDP queries.
+	// Zero means 1232. Negative disables EDNS0.
+	UDPSize int
+	// DisableTCPFallback suppresses the TCP retry that normally
+	// follows a truncated UDP response.
+	DisableTCPFallback bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+const defaultTimeout = 5 * time.Second
+
+func (c *Client) dialer() Dialer {
+	if c.Dialer != nil {
+		return c.Dialer
+	}
+	return &net.Dialer{}
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return defaultTimeout
+}
+
+// nextID returns a fresh transaction ID.
+func (c *Client) nextID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return uint16(c.rng.Intn(1 << 16))
+}
+
+// Query sends a single-question query for (name, t) to addr and
+// returns the response. UDP is tried first, with a TCP retry on
+// truncation unless disabled.
+func (c *Client) Query(ctx context.Context, addr, name string, t Type) (*Message, error) {
+	q := new(Message).SetQuestion(name, t)
+	return c.Exchange(ctx, q, addr)
+}
+
+// Exchange sends msg to addr and returns the response. The message ID
+// is assigned if zero. UDP is tried first, with a TCP retry on
+// truncation unless disabled.
+func (c *Client) Exchange(ctx context.Context, msg *Message, addr string) (*Message, error) {
+	if msg.ID == 0 {
+		msg.ID = c.nextID()
+	}
+	resp, err := c.ExchangeOver(ctx, msg, "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Truncated && !c.DisableTCPFallback {
+		return c.ExchangeOver(ctx, msg, "tcp", addr)
+	}
+	return resp, nil
+}
+
+// ExchangeOver sends msg to addr over the given network ("udp" or
+// "tcp") and returns the response.
+func (c *Client) ExchangeOver(ctx context.Context, msg *Message, network, addr string) (*Message, error) {
+	if msg.ID == 0 {
+		msg.ID = c.nextID()
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+
+	wire := msg
+	if network == "udp" && c.UDPSize >= 0 {
+		// Advertise EDNS0 on a copy so the caller's message is
+		// unchanged for a potential TCP retry.
+		clone := *msg
+		clone.Additional = append([]RR(nil), msg.Additional...)
+		size := c.UDPSize
+		if size == 0 {
+			size = 1232
+		}
+		clone.SetEDNS(uint16(size))
+		wire = &clone
+	}
+	packed, err := wire.Pack()
+	if err != nil {
+		return nil, fmt.Errorf("dns: packing query: %w", err)
+	}
+
+	conn, err := c.dialer().DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("dns: dialing %s %s: %w", network, addr, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+
+	var respBuf []byte
+	switch network {
+	case "tcp", "tcp4", "tcp6":
+		respBuf, err = exchangeTCP(conn, packed)
+	default:
+		respBuf, err = exchangeUDP(conn, packed, msg.EDNSUDPSize())
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	resp := new(Message)
+	if err := resp.Unpack(respBuf); err != nil {
+		return nil, fmt.Errorf("dns: unpacking response: %w", err)
+	}
+	if resp.ID != msg.ID {
+		return nil, ErrIDMismatch
+	}
+	if !resp.Response {
+		return nil, ErrNotReply
+	}
+	return resp, nil
+}
+
+func exchangeUDP(conn net.Conn, query []byte, bufSize int) ([]byte, error) {
+	if _, err := conn.Write(query); err != nil {
+		return nil, fmt.Errorf("dns: udp write: %w", err)
+	}
+	if bufSize < 512 {
+		bufSize = 512
+	}
+	buf := make([]byte, bufSize+1024)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, fmt.Errorf("dns: udp read: %w", err)
+	}
+	return buf[:n], nil
+}
+
+func exchangeTCP(conn net.Conn, query []byte) ([]byte, error) {
+	if err := WriteTCPMessage(conn, query); err != nil {
+		return nil, err
+	}
+	return ReadTCPMessage(conn)
+}
+
+// WriteTCPMessage writes a DNS message with the two-octet length
+// prefix used over TCP (RFC 1035 §4.2.2).
+func WriteTCPMessage(w io.Writer, msg []byte) error {
+	if len(msg) > 0xFFFF {
+		return ErrRDataTooLong
+	}
+	framed := make([]byte, 2+len(msg))
+	framed[0] = byte(len(msg) >> 8)
+	framed[1] = byte(len(msg))
+	copy(framed[2:], msg)
+	if _, err := w.Write(framed); err != nil {
+		return fmt.Errorf("dns: tcp write: %w", err)
+	}
+	return nil
+}
+
+// ReadTCPMessage reads one length-prefixed DNS message from r.
+func ReadTCPMessage(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("dns: tcp length read: %w", err)
+	}
+	n := int(lenBuf[0])<<8 | int(lenBuf[1])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("dns: tcp body read: %w", err)
+	}
+	return buf, nil
+}

@@ -1,0 +1,186 @@
+package dns
+
+import (
+	"errors"
+	"strings"
+)
+
+// Errors returned by name handling.
+var (
+	ErrNameTooLong   = errors.New("dns: name exceeds 255 octets")
+	ErrLabelTooLong  = errors.New("dns: label exceeds 63 octets")
+	ErrEmptyLabel    = errors.New("dns: empty label in name")
+	ErrBadPointer    = errors.New("dns: bad compression pointer")
+	ErrNameTruncated = errors.New("dns: truncated name")
+)
+
+const (
+	maxNameLen  = 255
+	maxLabelLen = 63
+)
+
+// CanonicalName lowercases a domain name and ensures it is fully
+// qualified (ends with a dot). The root name is returned as ".".
+func CanonicalName(name string) string {
+	name = strings.ToLower(name)
+	if name == "" || name == "." {
+		return "."
+	}
+	if !strings.HasSuffix(name, ".") {
+		name += "."
+	}
+	return name
+}
+
+// EqualNames reports whether two domain names are equal under DNS
+// case-insensitive comparison, ignoring a trailing dot.
+func EqualNames(a, b string) bool {
+	return CanonicalName(a) == CanonicalName(b)
+}
+
+// IsSubdomain reports whether child is equal to or a descendant of
+// parent, under DNS name comparison rules.
+func IsSubdomain(child, parent string) bool {
+	c, p := CanonicalName(child), CanonicalName(parent)
+	if p == "." {
+		return true
+	}
+	if c == p {
+		return true
+	}
+	return strings.HasSuffix(c, "."+p)
+}
+
+// SplitLabels splits a domain name into its labels, without the root.
+// "a.b.example.com." yields ["a" "b" "example" "com"].
+func SplitLabels(name string) []string {
+	name = strings.TrimSuffix(CanonicalName(name), ".")
+	if name == "" {
+		return nil
+	}
+	return strings.Split(name, ".")
+}
+
+// CountLabels returns the number of labels in name, excluding the root.
+func CountLabels(name string) int {
+	return len(SplitLabels(name))
+}
+
+// ValidateName checks that name is a syntactically legal domain name:
+// no empty interior labels, labels of at most 63 octets, and a total
+// wire length of at most 255 octets.
+func ValidateName(name string) error {
+	name = CanonicalName(name)
+	if name == "." {
+		return nil
+	}
+	wire := 1 // terminal root label
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		if label == "" {
+			return ErrEmptyLabel
+		}
+		if len(label) > maxLabelLen {
+			return ErrLabelTooLong
+		}
+		wire += 1 + len(label)
+	}
+	if wire > maxNameLen {
+		return ErrNameTooLong
+	}
+	return nil
+}
+
+// packName appends the wire encoding of name to b, using the builder's
+// compression table when a suffix of the name was already emitted.
+func (b *builder) packName(name string) error {
+	name = CanonicalName(name)
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	labels := SplitLabels(name)
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if off, ok := b.compress[suffix]; ok && off < 0x4000 {
+			b.uint16(uint16(off) | 0xC000)
+			return nil
+		}
+		if len(b.buf) < 0x4000 {
+			b.compress[suffix] = len(b.buf)
+		}
+		b.buf = append(b.buf, byte(len(labels[i])))
+		b.buf = append(b.buf, labels[i]...)
+	}
+	b.buf = append(b.buf, 0)
+	return nil
+}
+
+// unpackName reads a possibly-compressed name starting at off and
+// returns the canonical name and the offset just past the name's
+// in-place encoding (i.e. not following pointers).
+func unpackName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	ptrBudget := 64 // guard against pointer loops
+	end := -1       // offset after the first pointer, if any
+	total := 0
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrNameTruncated
+		}
+		c := int(msg[off])
+		switch {
+		case c == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			if sb.Len() == 0 {
+				return ".", end, nil
+			}
+			return sb.String(), end, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrNameTruncated
+			}
+			if ptrBudget--; ptrBudget < 0 {
+				return "", 0, ErrBadPointer
+			}
+			target := (c&0x3F)<<8 | int(msg[off+1])
+			if end < 0 {
+				end = off + 2
+			}
+			if target >= off {
+				return "", 0, ErrBadPointer
+			}
+			off = target
+		case c&0xC0 != 0:
+			return "", 0, ErrBadPointer
+		default:
+			if off+1+c > len(msg) {
+				return "", 0, ErrNameTruncated
+			}
+			total += c + 1
+			if total > maxNameLen {
+				return "", 0, ErrNameTooLong
+			}
+			sb.Write(lowerASCII(msg[off+1 : off+1+c]))
+			sb.WriteByte('.')
+			off += 1 + c
+		}
+	}
+}
+
+// lowerASCII lowercases ASCII letters in a label without allocating
+// when the label is already lowercase.
+func lowerASCII(b []byte) []byte {
+	lowered := b
+	copied := false
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			if !copied {
+				lowered = append([]byte(nil), b...)
+				copied = true
+			}
+			lowered[i] = c + ('a' - 'A')
+		}
+	}
+	return lowered
+}

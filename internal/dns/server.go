@@ -1,0 +1,274 @@
+package dns
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Request carries a decoded query and its transport context to a
+// Handler.
+type Request struct {
+	// Msg is the decoded query.
+	Msg *Message
+	// RemoteAddr is the client's transport address.
+	RemoteAddr net.Addr
+	// Transport is "udp" or "tcp".
+	Transport string
+	// Received is the server's arrival timestamp for the query.
+	Received time.Time
+}
+
+// ResponseWriter sends a response for one request.
+type ResponseWriter interface {
+	// WriteMsg packs and transmits the response. Over UDP the response
+	// is truncated to the client's advertised payload size.
+	WriteMsg(*Message) error
+}
+
+// Handler responds to DNS requests.
+type Handler interface {
+	ServeDNS(w ResponseWriter, r *Request)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(w ResponseWriter, r *Request)
+
+// ServeDNS calls f(w, r).
+func (f HandlerFunc) ServeDNS(w ResponseWriter, r *Request) { f(w, r) }
+
+// Server serves DNS over both UDP and TCP on the same address.
+type Server struct {
+	// Addr is the listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// Handler responds to queries. Required.
+	Handler Handler
+	// ReadTimeout bounds TCP connection idle time. Zero means 10s.
+	ReadTimeout time.Duration
+
+	mu       sync.Mutex
+	pc       net.PacketConn
+	ln       net.Listener
+	started  bool
+	shutdown chan struct{}
+	wg       sync.WaitGroup
+}
+
+// ErrServerStarted is returned when a server is started twice.
+var ErrServerStarted = errors.New("dns: server already started")
+
+// Start binds the UDP and TCP sockets and begins serving in background
+// goroutines. It returns the bound address (useful with port 0).
+func (s *Server) Start() (net.Addr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return nil, ErrServerStarted
+	}
+	if s.Handler == nil {
+		return nil, errors.New("dns: server has no handler")
+	}
+	addr := s.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	// Bind UDP and TCP on the same port. With an ephemeral port the
+	// TCP side can race other processes, so retry with a fresh UDP
+	// socket when the matching TCP port is taken.
+	var pc net.PacketConn
+	var ln net.Listener
+	var err error
+	for attempt := 0; ; attempt++ {
+		pc, err = net.ListenPacket("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("dns: udp listen: %w", err)
+		}
+		ln, err = net.Listen("tcp", pc.LocalAddr().String())
+		if err == nil {
+			break
+		}
+		pc.Close()
+		_, port, splitErr := net.SplitHostPort(addr)
+		ephemeral := splitErr == nil && port == "0"
+		if !ephemeral || attempt >= 16 {
+			return nil, fmt.Errorf("dns: tcp listen: %w", err)
+		}
+	}
+	s.pc, s.ln = pc, ln
+	s.shutdown = make(chan struct{})
+	s.started = true
+	s.wg.Add(2)
+	go s.serveUDP(pc)
+	go s.serveTCP(ln)
+	return pc.LocalAddr(), nil
+}
+
+// LocalAddr returns the bound UDP address, or nil before Start.
+func (s *Server) LocalAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pc == nil {
+		return nil
+	}
+	return s.pc.LocalAddr()
+}
+
+// Shutdown closes the sockets and waits for in-flight handlers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil
+	}
+	close(s.shutdown)
+	s.pc.Close()
+	s.ln.Close()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) closing() bool {
+	select {
+	case <-s.shutdown:
+		return true
+	default:
+		return false
+	}
+}
+
+const maxUDPQuery = 4096
+
+func (s *Server) serveUDP(pc net.PacketConn) {
+	defer s.wg.Done()
+	buf := make([]byte, maxUDPQuery)
+	for {
+		n, raddr, err := pc.ReadFrom(buf)
+		if err != nil {
+			if s.closing() {
+				return
+			}
+			continue
+		}
+		received := time.Now()
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handlePacket(pc, raddr, pkt, received)
+		}()
+	}
+}
+
+func (s *Server) handlePacket(pc net.PacketConn, raddr net.Addr, pkt []byte, received time.Time) {
+	msg := new(Message)
+	if err := msg.Unpack(pkt); err != nil || msg.Response {
+		return
+	}
+	w := &udpResponseWriter{pc: pc, raddr: raddr, maxSize: msg.EDNSUDPSize()}
+	s.Handler.ServeDNS(w, &Request{
+		Msg:        msg,
+		RemoteAddr: raddr,
+		Transport:  "udp",
+		Received:   received,
+	})
+}
+
+func (s *Server) serveTCP(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closing() {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleTCPConn(conn)
+		}()
+	}
+}
+
+func (s *Server) handleTCPConn(conn net.Conn) {
+	defer conn.Close()
+	timeout := s.ReadTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(timeout))
+		pkt, err := ReadTCPMessage(conn)
+		if err != nil {
+			return
+		}
+		received := time.Now()
+		msg := new(Message)
+		if err := msg.Unpack(pkt); err != nil || msg.Response {
+			return
+		}
+		w := &tcpResponseWriter{conn: conn}
+		s.Handler.ServeDNS(w, &Request{
+			Msg:        msg,
+			RemoteAddr: conn.RemoteAddr(),
+			Transport:  "tcp",
+			Received:   received,
+		})
+		if s.closing() {
+			return
+		}
+	}
+}
+
+type udpResponseWriter struct {
+	pc      net.PacketConn
+	raddr   net.Addr
+	maxSize int
+}
+
+func (w *udpResponseWriter) WriteMsg(m *Message) error {
+	packed, err := m.Pack()
+	if err != nil {
+		return err
+	}
+	if len(packed) > w.maxSize {
+		// Truncate: strip records and set TC so the client retries
+		// over TCP.
+		trunc := *m
+		trunc.Truncated = true
+		trunc.Answers, trunc.Authority, trunc.Additional = nil, nil, nil
+		if packed, err = trunc.Pack(); err != nil {
+			return err
+		}
+	}
+	_, err = w.pc.WriteTo(packed, w.raddr)
+	return err
+}
+
+type tcpResponseWriter struct {
+	conn net.Conn
+}
+
+func (w *tcpResponseWriter) WriteMsg(m *Message) error {
+	packed, err := m.Pack()
+	if err != nil {
+		return err
+	}
+	return WriteTCPMessage(w.conn, packed)
+}

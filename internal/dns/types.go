@@ -1,0 +1,126 @@
+// Package dns implements the subset of the DNS protocol needed to build
+// authoritative servers, stub resolvers, and measurement instrumentation
+// for email sender validation: wire-format packing and unpacking with name
+// compression, the record types used by SPF, DKIM, and DMARC (A, AAAA, MX,
+// TXT, NS, SOA, CNAME, PTR), EDNS0, and UDP/TCP clients and servers.
+//
+// The package is self-contained and uses only the standard library. It is
+// not a general-purpose DNS library: record types outside the needs of
+// RFC 7208 (SPF), RFC 6376 (DKIM), and RFC 7489 (DMARC) are carried as
+// opaque RDATA.
+package dns
+
+import "fmt"
+
+// Type is a DNS resource record type (RFC 1035 §3.2.2).
+type Type uint16
+
+// Record types used by the sender-validation protocols.
+const (
+	TypeNone  Type = 0
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeOPT   Type = 41
+	TypeSPF   Type = 99 // historic; RFC 7208 deprecates it in favor of TXT
+	TypeANY   Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeNone:  "NONE",
+	TypeA:     "A",
+	TypeNS:    "NS",
+	TypeCNAME: "CNAME",
+	TypeSOA:   "SOA",
+	TypePTR:   "PTR",
+	TypeMX:    "MX",
+	TypeTXT:   "TXT",
+	TypeAAAA:  "AAAA",
+	TypeOPT:   "OPT",
+	TypeSPF:   "SPF",
+	TypeANY:   "ANY",
+}
+
+// String returns the standard mnemonic for the type, or TYPEn for
+// unknown types per RFC 3597.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a DNS class. Only IN is used in practice.
+type Class uint16
+
+// DNS classes.
+const (
+	ClassINET Class = 1
+	ClassANY  Class = 255
+)
+
+// String returns the standard mnemonic for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassINET:
+		return "IN"
+	case ClassANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// RCode is a DNS response code (RFC 1035 §4.1.1).
+type RCode uint16
+
+// Response codes.
+const (
+	RCodeSuccess        RCode = 0 // NOERROR
+	RCodeFormatError    RCode = 1 // FORMERR
+	RCodeServerFailure  RCode = 2 // SERVFAIL
+	RCodeNameError      RCode = 3 // NXDOMAIN
+	RCodeNotImplemented RCode = 4 // NOTIMP
+	RCodeRefused        RCode = 5 // REFUSED
+)
+
+var rcodeNames = map[RCode]string{
+	RCodeSuccess:        "NOERROR",
+	RCodeFormatError:    "FORMERR",
+	RCodeServerFailure:  "SERVFAIL",
+	RCodeNameError:      "NXDOMAIN",
+	RCodeNotImplemented: "NOTIMP",
+	RCodeRefused:        "REFUSED",
+}
+
+// String returns the standard mnemonic for the response code.
+func (r RCode) String() string {
+	if s, ok := rcodeNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("RCODE%d", uint16(r))
+}
+
+// Opcode is a DNS operation code.
+type Opcode uint16
+
+// Opcodes. Only standard queries are supported.
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeStatus Opcode = 2
+)
+
+// String returns the standard mnemonic for the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeStatus:
+		return "STATUS"
+	}
+	return fmt.Sprintf("OPCODE%d", uint16(o))
+}

@@ -1,0 +1,107 @@
+package dns
+
+import "errors"
+
+// Errors returned by message packing and unpacking.
+var (
+	ErrMessageTruncated = errors.New("dns: message truncated")
+	ErrRDataTooLong     = errors.New("dns: rdata exceeds 65535 octets")
+	ErrStringTooLong    = errors.New("dns: character-string exceeds 255 octets")
+)
+
+// builder accumulates the wire form of a message and tracks name
+// compression targets.
+type builder struct {
+	buf      []byte
+	compress map[string]int
+}
+
+func newBuilder() *builder {
+	return &builder{
+		buf:      make([]byte, 0, 512),
+		compress: make(map[string]int),
+	}
+}
+
+func (b *builder) uint8(v uint8)   { b.buf = append(b.buf, v) }
+func (b *builder) uint16(v uint16) { b.buf = append(b.buf, byte(v>>8), byte(v)) }
+func (b *builder) uint32(v uint32) {
+	b.buf = append(b.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func (b *builder) bytes(v []byte) { b.buf = append(b.buf, v...) }
+
+// charString appends an RFC 1035 <character-string>: a length octet
+// followed by up to 255 octets.
+func (b *builder) charString(s string) error {
+	if len(s) > 255 {
+		return ErrStringTooLong
+	}
+	b.uint8(uint8(len(s)))
+	b.buf = append(b.buf, s...)
+	return nil
+}
+
+// parser reads the wire form of a message. The full message is kept
+// for compression-pointer resolution.
+type parser struct {
+	msg []byte
+	off int
+}
+
+func (p *parser) uint8() (uint8, error) {
+	if p.off+1 > len(p.msg) {
+		return 0, ErrMessageTruncated
+	}
+	v := p.msg[p.off]
+	p.off++
+	return v, nil
+}
+
+func (p *parser) uint16() (uint16, error) {
+	if p.off+2 > len(p.msg) {
+		return 0, ErrMessageTruncated
+	}
+	v := uint16(p.msg[p.off])<<8 | uint16(p.msg[p.off+1])
+	p.off += 2
+	return v, nil
+}
+
+func (p *parser) uint32() (uint32, error) {
+	if p.off+4 > len(p.msg) {
+		return 0, ErrMessageTruncated
+	}
+	v := uint32(p.msg[p.off])<<24 | uint32(p.msg[p.off+1])<<16 |
+		uint32(p.msg[p.off+2])<<8 | uint32(p.msg[p.off+3])
+	p.off += 4
+	return v, nil
+}
+
+func (p *parser) bytes(n int) ([]byte, error) {
+	if n < 0 || p.off+n > len(p.msg) {
+		return nil, ErrMessageTruncated
+	}
+	v := p.msg[p.off : p.off+n]
+	p.off += n
+	return v, nil
+}
+
+func (p *parser) name() (string, error) {
+	name, next, err := unpackName(p.msg, p.off)
+	if err != nil {
+		return "", err
+	}
+	p.off = next
+	return name, nil
+}
+
+func (p *parser) charString() (string, error) {
+	n, err := p.uint8()
+	if err != nil {
+		return "", err
+	}
+	b, err := p.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,78 @@
+package dnsserver
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"sendervalid/internal/dns"
+)
+
+// logRecord is the JSON-lines wire form of a LogEntry. The study's
+// workflow separates collection from analysis: the authoritative
+// server writes its query log to disk, and the analyses run offline
+// over the file (possibly repeatedly, as new questions arise).
+type logRecord struct {
+	Time      time.Time `json:"t"`
+	Name      string    `json:"name"`
+	Type      string    `json:"type"`
+	TestID    string    `json:"test,omitempty"`
+	MTAID     string    `json:"mta,omitempty"`
+	Rest      []string  `json:"rest,omitempty"`
+	Transport string    `json:"via,omitempty"`
+	OverIPv6  bool      `json:"v6,omitempty"`
+	Remote    string    `json:"remote,omitempty"`
+}
+
+// typeByName inverts the Type mnemonics used in the log files.
+var typeByName = map[string]dns.Type{
+	"A": dns.TypeA, "NS": dns.TypeNS, "CNAME": dns.TypeCNAME,
+	"SOA": dns.TypeSOA, "PTR": dns.TypePTR, "MX": dns.TypeMX,
+	"TXT": dns.TypeTXT, "AAAA": dns.TypeAAAA, "OPT": dns.TypeOPT,
+	"SPF": dns.TypeSPF, "ANY": dns.TypeANY,
+}
+
+// WriteJSON streams the log's entries as JSON lines.
+func (l *QueryLog) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range l.Entries() {
+		rec := logRecord{
+			Time: e.Time, Name: e.Name, Type: e.Type.String(),
+			TestID: e.TestID, MTAID: e.MTAID, Rest: e.Rest,
+			Transport: e.Transport, OverIPv6: e.OverIPv6, Remote: e.Remote,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("dnsserver: writing log: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLogJSON parses a JSON-lines query log.
+func ReadLogJSON(r io.Reader) ([]LogEntry, error) {
+	var out []LogEntry
+	dec := json.NewDecoder(r)
+	for dec.More() {
+		var rec logRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("dnsserver: reading log entry %d: %w", len(out), err)
+		}
+		t, ok := typeByName[rec.Type]
+		if !ok {
+			var n uint16
+			if _, err := fmt.Sscanf(rec.Type, "TYPE%d", &n); err != nil {
+				return nil, fmt.Errorf("dnsserver: log entry %d: unknown type %q", len(out), rec.Type)
+			}
+			t = dns.Type(n)
+		}
+		out = append(out, LogEntry{
+			Time: rec.Time, Name: rec.Name, Type: t,
+			TestID: rec.TestID, MTAID: rec.MTAID, Rest: rec.Rest,
+			Transport: rec.Transport, OverIPv6: rec.OverIPv6, Remote: rec.Remote,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,354 @@
+package dnsserver
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"sendervalid/internal/dns"
+)
+
+// Query is a parsed, attributed query handed to a Responder.
+type Query struct {
+	// Name is the canonical query name.
+	Name string
+	// Type is the query type.
+	Type dns.Type
+	// TestID and MTAID are the identifying labels (paper §4.4).
+	TestID string
+	MTAID  string
+	// Rest holds labels left of the test label, leftmost first.
+	Rest []string
+	// Transport is "udp" or "tcp".
+	Transport string
+	// OverIPv6 reports whether the query arrived at the server's IPv6
+	// endpoint.
+	OverIPv6 bool
+}
+
+// Response is a Responder's synthesized answer plus shaping directives.
+type Response struct {
+	// Records go in the answer section.
+	Records []dns.RR
+	// RCode overrides NOERROR when non-zero.
+	RCode dns.RCode
+	// Delay is slept before the response is written, implementing the
+	// paper's 100 ms / 800 ms response shaping (§7.1, §7.2).
+	Delay time.Duration
+	// TruncateUDP forces a truncated empty response over UDP, eliciting
+	// a TCP retry (the paper's TCP test policy, §7.3).
+	TruncateUDP bool
+	// RequireIPv6 refuses the query unless it arrived over IPv6 (the
+	// paper's IPv6-only test policy, §7.3).
+	RequireIPv6 bool
+	// Drop suppresses any response, simulating an unreachable server.
+	Drop bool
+}
+
+// Responder synthesizes the response for one attributed query.
+type Responder interface {
+	Respond(q *Query) Response
+}
+
+// ResponderFunc adapts a function to the Responder interface.
+type ResponderFunc func(q *Query) Response
+
+// Respond calls f(q).
+func (f ResponderFunc) Respond(q *Query) Response { return f(q) }
+
+// Zone is an authoritative suffix served synthetically.
+type Zone struct {
+	// Suffix is the zone apex, e.g. "spf-test.dns-lab.example.".
+	Suffix string
+	// Contact is the responsible-party address published in the SOA
+	// RNAME field for experiment attribution (paper §5.3), in DNS
+	// name form ("hostmaster.example.com." for hostmaster@example.com).
+	Contact string
+	// Responders maps a test-policy label (e.g. "t01") to the
+	// responder that synthesizes answers for names carrying it.
+	Responders map[string]Responder
+	// Default answers queries whose test label has no dedicated
+	// responder (and apex queries). Optional.
+	Default Responder
+	// LabelDepth is the number of identifying labels directly under
+	// the suffix: 2 for <testid>.<mtaid>.<suffix> (NotifyMX and
+	// TwoWeekMX), 1 for <domainid>.<suffix> (NotifyEmail). Default 2.
+	LabelDepth int
+	// NoLog excludes this zone's queries from the server's query log.
+	// Infrastructure zones (e.g. the simulated recipient-domain MX
+	// records) would otherwise pollute the measurement signal with
+	// meaningless attribution labels.
+	NoLog bool
+}
+
+// parse attributes a query name within the zone. ok is false when the
+// name is not under the zone suffix.
+func (z *Zone) parse(name string, qtype dns.Type, transport string, v6 bool) (*Query, bool) {
+	name = dns.CanonicalName(name)
+	suffix := dns.CanonicalName(z.Suffix)
+	if !dns.IsSubdomain(name, suffix) {
+		return nil, false
+	}
+	q := &Query{Name: name, Type: qtype, Transport: transport, OverIPv6: v6}
+	sub := strings.TrimSuffix(name, suffix)
+	sub = strings.TrimSuffix(sub, ".")
+	if sub == "" {
+		return q, true // apex
+	}
+	labels := strings.Split(sub, ".")
+	depth := z.LabelDepth
+	if depth == 0 {
+		depth = 2
+	}
+	switch {
+	case depth >= 2 && len(labels) >= 2:
+		q.MTAID = labels[len(labels)-1]
+		q.TestID = labels[len(labels)-2]
+		q.Rest = labels[:len(labels)-2]
+	default:
+		q.MTAID = labels[len(labels)-1]
+		q.Rest = labels[:len(labels)-1]
+		// Single-identifier zones key responders on the first rest
+		// label when present, otherwise the domain id itself.
+	}
+	return q, true
+}
+
+// Server is the synthesizing authoritative server. It binds an IPv4
+// and (optionally) an IPv6 endpoint, serves the configured zones, and
+// records every query in its log.
+type Server struct {
+	// Zones are served authoritatively. Longest-suffix match wins.
+	Zones []*Zone
+	// Addr4 and Addr6 are the listen addresses. Addr4 defaults to
+	// "127.0.0.1:0"; Addr6 is optional ("[::1]:0" to enable).
+	Addr4 string
+	Addr6 string
+	// TTL is the answer TTL. Defaults to 60.
+	TTL uint32
+	// Log records every query. A nil log disables recording.
+	Log *QueryLog
+
+	srv4 *dns.Server
+	srv6 *dns.Server
+}
+
+// Start binds the endpoints and begins serving. It returns the bound
+// IPv4 address; Addr6Bound exposes the IPv6 one.
+func (s *Server) Start() (net.Addr, error) {
+	addr4 := s.Addr4
+	if addr4 == "" {
+		addr4 = "127.0.0.1:0"
+	}
+	s.srv4 = &dns.Server{Addr: addr4, Handler: s.handler(false)}
+	bound, err := s.srv4.Start()
+	if err != nil {
+		return nil, err
+	}
+	if s.Addr6 != "" {
+		s.srv6 = &dns.Server{Addr: s.Addr6, Handler: s.handler(true)}
+		if _, err := s.srv6.Start(); err != nil {
+			_ = s.srv4.Shutdown(context.Background())
+			return nil, err
+		}
+	}
+	return bound, nil
+}
+
+// Addr returns the bound IPv4 endpoint, or nil before Start.
+func (s *Server) Addr() net.Addr {
+	if s.srv4 == nil {
+		return nil
+	}
+	return s.srv4.LocalAddr()
+}
+
+// Addr6Bound returns the bound IPv6 endpoint, or nil when disabled.
+func (s *Server) Addr6Bound() net.Addr {
+	if s.srv6 == nil {
+		return nil
+	}
+	return s.srv6.LocalAddr()
+}
+
+// Shutdown stops both endpoints.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var first error
+	if s.srv4 != nil {
+		first = s.srv4.Shutdown(ctx)
+	}
+	if s.srv6 != nil {
+		if err := s.srv6.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *Server) ttl() uint32 {
+	if s.TTL == 0 {
+		return 60
+	}
+	return s.TTL
+}
+
+// zoneFor returns the longest-suffix zone containing name.
+func (s *Server) zoneFor(name string) *Zone {
+	var best *Zone
+	bestLen := -1
+	for _, z := range s.Zones {
+		if dns.IsSubdomain(name, z.Suffix) {
+			if n := len(dns.CanonicalName(z.Suffix)); n > bestLen {
+				best, bestLen = z, n
+			}
+		}
+	}
+	return best
+}
+
+func (s *Server) handler(v6 bool) dns.Handler {
+	return dns.HandlerFunc(func(w dns.ResponseWriter, r *dns.Request) {
+		question := r.Msg.Question()
+		zone := s.zoneFor(question.Name)
+		if zone == nil {
+			resp := new(dns.Message).SetReply(r.Msg)
+			resp.RCode = dns.RCodeRefused
+			_ = w.WriteMsg(resp)
+			return
+		}
+		q, _ := zone.parse(question.Name, question.Type, r.Transport, v6)
+
+		if s.Log != nil && !zone.NoLog {
+			s.Log.Append(LogEntry{
+				Time:      r.Received,
+				Name:      q.Name,
+				Type:      q.Type,
+				TestID:    q.TestID,
+				MTAID:     q.MTAID,
+				Rest:      q.Rest,
+				Transport: r.Transport,
+				OverIPv6:  v6,
+				Remote:    r.RemoteAddr.String(),
+			})
+		}
+
+		resp := new(dns.Message).SetReply(r.Msg)
+		resp.Authoritative = true
+
+		// Built-in apex records: SOA and the attribution contact.
+		if dns.EqualNames(q.Name, zone.Suffix) && (q.Type == dns.TypeSOA || q.Type == dns.TypeANY) {
+			resp.Answers = append(resp.Answers, s.soa(zone))
+			_ = w.WriteMsg(resp)
+			return
+		}
+
+		responder := zone.Default
+		if q.TestID != "" {
+			if rsp, ok := zone.Responders[q.TestID]; ok {
+				responder = rsp
+			}
+		}
+		if responder == nil {
+			resp.RCode = dns.RCodeNameError
+			resp.Authority = append(resp.Authority, s.soa(zone))
+			_ = w.WriteMsg(resp)
+			return
+		}
+
+		shaped := responder.Respond(q)
+		if shaped.Drop {
+			return
+		}
+		if shaped.Delay > 0 {
+			time.Sleep(shaped.Delay)
+		}
+		if shaped.RequireIPv6 && !v6 {
+			resp.RCode = dns.RCodeRefused
+			_ = w.WriteMsg(resp)
+			return
+		}
+		if shaped.TruncateUDP && r.Transport == "udp" {
+			resp.Truncated = true
+			_ = w.WriteMsg(resp)
+			return
+		}
+		resp.RCode = shaped.RCode
+		resp.Answers = shaped.Records
+		if len(resp.Answers) == 0 && resp.RCode == dns.RCodeSuccess {
+			// Negative answer: include the SOA per RFC 2308.
+			resp.Authority = append(resp.Authority, s.soa(zone))
+		}
+		_ = w.WriteMsg(resp)
+	})
+}
+
+func (s *Server) soa(z *Zone) dns.RR {
+	contact := z.Contact
+	if contact == "" {
+		contact = prefixName("hostmaster", z.Suffix)
+	}
+	return dns.RR{
+		Name: dns.CanonicalName(z.Suffix), Type: dns.TypeSOA, Class: dns.ClassINET,
+		TTL: s.ttl(),
+		Data: &dns.SOA{
+			MName: prefixName("ns1", z.Suffix), RName: dns.CanonicalName(contact),
+			Serial: 2021100401, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300,
+		},
+	}
+}
+
+// prefixName joins a label onto a zone suffix, handling the root zone
+// (where naive concatenation would produce an empty label).
+func prefixName(label, suffix string) string {
+	suffix = dns.CanonicalName(suffix)
+	if suffix == "." {
+		return label + "."
+	}
+	return label + "." + suffix
+}
+
+// TXTRecord builds a TXT resource record for name, splitting long
+// payloads into 255-octet character-strings.
+func TXTRecord(name, payload string, ttl uint32) dns.RR {
+	return dns.RR{
+		Name: dns.CanonicalName(name), Type: dns.TypeTXT, Class: dns.ClassINET, TTL: ttl,
+		Data: &dns.TXT{Strings: dns.SplitTXT(payload)},
+	}
+}
+
+// Rejoin reassembles a Query's identifying labels into the name that
+// carries them, for building follow-up names in synthesized policies:
+// Rejoin(q, suffix, "l1") prepends "l1" to the (testid, mtaid) base
+// name.
+func Rejoin(q *Query, suffix string, extra ...string) string {
+	labels := append([]string(nil), extra...)
+	if q.TestID != "" {
+		labels = append(labels, q.TestID)
+	}
+	if q.MTAID != "" {
+		labels = append(labels, q.MTAID)
+	}
+	base := strings.Join(labels, ".")
+	if base == "" {
+		return dns.CanonicalName(suffix)
+	}
+	return dns.CanonicalName(base + "." + dns.CanonicalName(suffix))
+}
+
+// FormatContact converts a mailbox ("hostmaster@example.com") to SOA
+// RNAME form ("hostmaster.example.com.").
+func FormatContact(mailbox string) string {
+	local, domain, ok := strings.Cut(mailbox, "@")
+	if !ok {
+		return dns.CanonicalName(mailbox)
+	}
+	return dns.CanonicalName(strings.ReplaceAll(local, ".", "\\.") + "." + domain)
+}
+
+// String renders a Query for diagnostics.
+func (q *Query) String() string {
+	return fmt.Sprintf("%s %s test=%s mta=%s rest=%v via %s",
+		q.Name, q.Type, q.TestID, q.MTAID, q.Rest, q.Transport)
+}

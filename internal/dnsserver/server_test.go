@@ -1,0 +1,401 @@
+package dnsserver
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"sendervalid/internal/dns"
+)
+
+const testSuffix = "spf-test.dns-lab.example."
+
+// synthResponder mimics the paper's include-chain synthesis: the base
+// TXT query gets a policy including l1.<base>; l1 includes l2; l2
+// terminates.
+func synthResponder(t *testing.T) Responder {
+	return ResponderFunc(func(q *Query) Response {
+		if q.Type != dns.TypeTXT {
+			return Response{}
+		}
+		switch {
+		case len(q.Rest) == 0:
+			return Response{Records: []dns.RR{
+				TXTRecord(q.Name, "v=spf1 include:"+Rejoin(q, testSuffix, "l1")+" ?all", 60),
+			}}
+		case q.Rest[0] == "l1":
+			return Response{Records: []dns.RR{
+				TXTRecord(q.Name, "v=spf1 include:"+Rejoin(q, testSuffix, "l2")+" ?all", 60),
+			}}
+		case q.Rest[0] == "l2":
+			return Response{Records: []dns.RR{TXTRecord(q.Name, "v=spf1 ?all", 60)}}
+		}
+		return Response{RCode: dns.RCodeNameError}
+	})
+}
+
+func startSynthServer(t *testing.T, zone *Zone) (*Server, string) {
+	t.Helper()
+	srv := &Server{Zones: []*Zone{zone}, Log: &QueryLog{}}
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv, addr.String()
+}
+
+func queryTXT(t *testing.T, addr, name string) *dns.Message {
+	t.Helper()
+	c := &dns.Client{Timeout: 3 * time.Second}
+	resp, err := c.Query(context.Background(), addr, name, dns.TypeTXT)
+	if err != nil {
+		t.Fatalf("query %s: %v", name, err)
+	}
+	return resp
+}
+
+func txtPayload(t *testing.T, m *dns.Message) string {
+	t.Helper()
+	if len(m.Answers) == 0 {
+		t.Fatalf("no answers in %s", m)
+	}
+	return m.Answers[0].Data.(*dns.TXT).Joined()
+}
+
+func TestSynthesizedIncludeChain(t *testing.T) {
+	zone := &Zone{
+		Suffix:     testSuffix,
+		Responders: map[string]Responder{"t01": synthResponder(t)},
+	}
+	srv, addr := startSynthServer(t, zone)
+
+	base := "t01.m0042." + testSuffix
+	payload := txtPayload(t, queryTXT(t, addr, base))
+	if payload != "v=spf1 include:l1.t01.m0042."+testSuffix+" ?all" {
+		t.Errorf("base policy: %q", payload)
+	}
+	payload = txtPayload(t, queryTXT(t, addr, "l1."+base))
+	if !strings.Contains(payload, "include:l2.t01.m0042.") {
+		t.Errorf("l1 policy: %q", payload)
+	}
+	payload = txtPayload(t, queryTXT(t, addr, "l2."+base))
+	if payload != "v=spf1 ?all" {
+		t.Errorf("l2 policy: %q", payload)
+	}
+
+	// Identity isolation: a different MTA id gets its own names.
+	payload = txtPayload(t, queryTXT(t, addr, "t01.m9999."+testSuffix))
+	if !strings.Contains(payload, "l1.t01.m9999.") {
+		t.Errorf("per-MTA synthesis: %q", payload)
+	}
+
+	// The log attributes every query.
+	entries := srv.Log.Entries()
+	if len(entries) != 4 {
+		t.Fatalf("logged %d queries, want 4", len(entries))
+	}
+	if entries[0].TestID != "t01" || entries[0].MTAID != "m0042" || len(entries[0].Rest) != 0 {
+		t.Errorf("base attribution: %+v", entries[0])
+	}
+	if entries[1].Rest[0] != "l1" || entries[2].Rest[0] != "l2" {
+		t.Errorf("follow-up attribution: %+v %+v", entries[1], entries[2])
+	}
+	if entries[3].MTAID != "m9999" {
+		t.Errorf("MTA attribution: %+v", entries[3])
+	}
+}
+
+func TestResponseDelayShaping(t *testing.T) {
+	delay := 80 * time.Millisecond
+	zone := &Zone{
+		Suffix: testSuffix,
+		Responders: map[string]Responder{
+			"t02": ResponderFunc(func(q *Query) Response {
+				return Response{
+					Records: []dns.RR{TXTRecord(q.Name, "v=spf1 ?all", 60)},
+					Delay:   delay,
+				}
+			}),
+		},
+	}
+	_, addr := startSynthServer(t, zone)
+	start := time.Now()
+	queryTXT(t, addr, "t02.m0001."+testSuffix)
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Errorf("response arrived after %v, want ≥ %v", elapsed, delay)
+	}
+}
+
+func TestTruncateUDPForcesTCP(t *testing.T) {
+	zone := &Zone{
+		Suffix: testSuffix,
+		Responders: map[string]Responder{
+			"t03": ResponderFunc(func(q *Query) Response {
+				return Response{
+					Records:     []dns.RR{TXTRecord(q.Name, "v=spf1 -all", 60)},
+					TruncateUDP: true,
+				}
+			}),
+		},
+	}
+	srv, addr := startSynthServer(t, zone)
+	resp := queryTXT(t, addr, "t03.m0001."+testSuffix) // client auto-retries TCP
+	if resp.Truncated || len(resp.Answers) != 1 {
+		t.Errorf("TCP retry failed: %s", resp)
+	}
+	transports := []string{}
+	for _, e := range srv.Log.Entries() {
+		transports = append(transports, e.Transport)
+	}
+	if len(transports) != 2 || transports[0] != "udp" || transports[1] != "tcp" {
+		t.Errorf("observed transports %v, want [udp tcp]", transports)
+	}
+}
+
+func TestRequireIPv6(t *testing.T) {
+	zone := &Zone{
+		Suffix: testSuffix,
+		Responders: map[string]Responder{
+			"t04": ResponderFunc(func(q *Query) Response {
+				return Response{
+					Records:     []dns.RR{TXTRecord(q.Name, "v=spf1 ?all", 60)},
+					RequireIPv6: true,
+				}
+			}),
+		},
+	}
+	srv := &Server{Zones: []*Zone{zone}, Addr6: "[::1]:0", Log: &QueryLog{}}
+	addr4, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	if srv.Addr6Bound() == nil {
+		t.Skip("IPv6 loopback unavailable")
+	}
+
+	c := &dns.Client{Timeout: 3 * time.Second}
+	name := "t04.m0001." + testSuffix
+	over4, err := c.Query(context.Background(), addr4.String(), name, dns.TypeTXT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over4.RCode != dns.RCodeRefused {
+		t.Errorf("IPv4 query to v6-only policy: %s", over4.RCode)
+	}
+	over6, err := c.Query(context.Background(), srv.Addr6Bound().String(), name, dns.TypeTXT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over6.RCode != dns.RCodeSuccess || len(over6.Answers) != 1 {
+		t.Errorf("IPv6 query failed: %s", over6)
+	}
+}
+
+func TestApexSOAAndContact(t *testing.T) {
+	zone := &Zone{Suffix: testSuffix, Contact: FormatContact("research-contact@dns-lab.example")}
+	_, addr := startSynthServer(t, zone)
+	c := &dns.Client{Timeout: 3 * time.Second}
+	resp, err := c.Query(context.Background(), addr, testSuffix, dns.TypeSOA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("no SOA answer: %s", resp)
+	}
+	soa := resp.Answers[0].Data.(*dns.SOA)
+	if soa.RName != "research-contact.dns-lab.example." {
+		t.Errorf("SOA contact: %q", soa.RName)
+	}
+}
+
+func TestUnknownZoneRefused(t *testing.T) {
+	zone := &Zone{Suffix: testSuffix}
+	_, addr := startSynthServer(t, zone)
+	c := &dns.Client{Timeout: 3 * time.Second}
+	resp, err := c.Query(context.Background(), addr, "unrelated.example.org", dns.TypeTXT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dns.RCodeRefused {
+		t.Errorf("off-zone query: %s", resp.RCode)
+	}
+}
+
+func TestNoResponderNXDOMAIN(t *testing.T) {
+	zone := &Zone{Suffix: testSuffix, Responders: map[string]Responder{}}
+	_, addr := startSynthServer(t, zone)
+	resp := queryTXT(t, addr, "t99.m0001."+testSuffix)
+	if resp.RCode != dns.RCodeNameError {
+		t.Errorf("unknown test id: %s", resp.RCode)
+	}
+	if len(resp.Authority) == 0 {
+		t.Error("negative answer lacks SOA")
+	}
+}
+
+func TestSingleLabelZone(t *testing.T) {
+	// NotifyEmail-style zone: <domainid>.<suffix>, depth 1.
+	zone := &Zone{
+		Suffix:     "dsav-mail.dns-lab.example.",
+		LabelDepth: 1,
+		Default: ResponderFunc(func(q *Query) Response {
+			if q.Type != dns.TypeTXT {
+				return Response{}
+			}
+			return Response{Records: []dns.RR{TXTRecord(q.Name, "v=spf1 a:mta."+q.MTAID+".dsav-mail.dns-lab.example. -all", 60)}}
+		}),
+	}
+	srv, addr := startSynthServer(t, zone)
+	payload := txtPayload(t, queryTXT(t, addr, "d0007.dsav-mail.dns-lab.example."))
+	if !strings.Contains(payload, "a:mta.d0007.") {
+		t.Errorf("single-label synthesis: %q", payload)
+	}
+	e := srv.Log.Entries()[0]
+	if e.MTAID != "d0007" || e.TestID != "" {
+		t.Errorf("single-label attribution: %+v", e)
+	}
+}
+
+func TestVoidResponder(t *testing.T) {
+	zone := &Zone{
+		Suffix: testSuffix,
+		Responders: map[string]Responder{
+			"t05": ResponderFunc(func(q *Query) Response {
+				if q.Type == dns.TypeA {
+					return Response{} // NOERROR, no records: a void lookup
+				}
+				return Response{Records: []dns.RR{TXTRecord(q.Name, "v=spf1 a:void."+q.TestID+"."+q.MTAID+"."+testSuffix+" ?all", 60)}}
+			}),
+		},
+	}
+	_, addr := startSynthServer(t, zone)
+	c := &dns.Client{Timeout: 3 * time.Second}
+	resp, err := c.Query(context.Background(), addr, "void.t05.m0001."+testSuffix, dns.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dns.RCodeSuccess || len(resp.Answers) != 0 {
+		t.Errorf("void answer: %s", resp)
+	}
+}
+
+func TestDropResponder(t *testing.T) {
+	zone := &Zone{
+		Suffix: testSuffix,
+		Responders: map[string]Responder{
+			"t06": ResponderFunc(func(q *Query) Response { return Response{Drop: true} }),
+		},
+	}
+	_, addr := startSynthServer(t, zone)
+	c := &dns.Client{Timeout: 200 * time.Millisecond}
+	if _, err := c.Query(context.Background(), addr, "t06.m0001."+testSuffix, dns.TypeTXT); err == nil {
+		t.Error("dropped query got a response")
+	}
+}
+
+func TestQueryLogHelpers(t *testing.T) {
+	log := &QueryLog{}
+	log.Append(LogEntry{TestID: "t01", MTAID: "m1", Name: "a."})
+	log.Append(LogEntry{TestID: "t01", MTAID: "m2", Name: "b."})
+	log.Append(LogEntry{TestID: "t02", MTAID: "m1", Name: "c."})
+	if log.Len() != 3 {
+		t.Errorf("Len = %d", log.Len())
+	}
+	if got := log.ByMTA(); len(got["m1"]) != 2 || len(got["m2"]) != 1 {
+		t.Errorf("ByMTA = %v", got)
+	}
+	if got := log.ByTest(); len(got["t01"]) != 2 || len(got["t02"]) != 1 {
+		t.Errorf("ByTest = %v", got)
+	}
+	if got := log.Filter(func(e LogEntry) bool { return e.Name == "b." }); len(got) != 1 {
+		t.Errorf("Filter = %v", got)
+	}
+	log.Reset()
+	if log.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestRejoin(t *testing.T) {
+	q := &Query{TestID: "t01", MTAID: "m0042"}
+	if got := Rejoin(q, testSuffix, "l1"); got != "l1.t01.m0042."+testSuffix {
+		t.Errorf("Rejoin = %q", got)
+	}
+	if got := Rejoin(q, testSuffix); got != "t01.m0042."+testSuffix {
+		t.Errorf("Rejoin no-extra = %q", got)
+	}
+	if got := Rejoin(&Query{}, testSuffix); got != testSuffix {
+		t.Errorf("Rejoin empty = %q", got)
+	}
+}
+
+func TestFormatContact(t *testing.T) {
+	if got := FormatContact("hostmaster@example.com"); got != "hostmaster.example.com." {
+		t.Errorf("FormatContact = %q", got)
+	}
+	if got := FormatContact("first.last@example.com"); got != "first\\.last.example.com." {
+		t.Errorf("FormatContact dotted local = %q", got)
+	}
+	if got := FormatContact("already.a.name."); got != "already.a.name." {
+		t.Errorf("FormatContact passthrough = %q", got)
+	}
+}
+
+func TestMultipleTXTRecords(t *testing.T) {
+	// The paper's multiple-SPF-record test policy publishes two valid
+	// policies at one name.
+	zone := &Zone{
+		Suffix: testSuffix,
+		Responders: map[string]Responder{
+			"t07": ResponderFunc(func(q *Query) Response {
+				return Response{Records: []dns.RR{
+					TXTRecord(q.Name, "v=spf1 a:one."+testSuffix+" ?all", 60),
+					TXTRecord(q.Name, "v=spf1 a:two."+testSuffix+" ?all", 60),
+				}}
+			}),
+		},
+	}
+	_, addr := startSynthServer(t, zone)
+	resp := queryTXT(t, addr, "t07.m0001."+testSuffix)
+	if len(resp.Answers) != 2 {
+		t.Errorf("got %d TXT records, want 2", len(resp.Answers))
+	}
+}
+
+func TestARecordSynthesis(t *testing.T) {
+	zone := &Zone{
+		Suffix: testSuffix,
+		Responders: map[string]Responder{
+			"t08": ResponderFunc(func(q *Query) Response {
+				if q.Type == dns.TypeA {
+					return Response{Records: []dns.RR{{
+						Name: q.Name, Type: dns.TypeA, Class: dns.ClassINET, TTL: 60,
+						Data: &dns.A{Addr: netip.MustParseAddr("192.0.2.1")},
+					}}}
+				}
+				return Response{}
+			}),
+		},
+	}
+	_, addr := startSynthServer(t, zone)
+	c := &dns.Client{Timeout: 3 * time.Second}
+	resp, err := c.Query(context.Background(), addr, "foo.t08.m0001."+testSuffix, dns.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Data.(*dns.A).Addr.String() != "192.0.2.1" {
+		t.Errorf("A synthesis: %s", resp)
+	}
+}

@@ -1,0 +1,403 @@
+package experiment
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"sendervalid/internal/dns"
+	"sendervalid/internal/dnsserver"
+	"sendervalid/internal/policy"
+)
+
+// mtaQueries groups log entries per MTA for one test.
+func mtaQueries(entries []dnsserver.LogEntry, testID string) map[string][]dnsserver.LogEntry {
+	out := make(map[string][]dnsserver.LogEntry)
+	for _, e := range entries {
+		if e.TestID == testID && e.MTAID != "" {
+			out[e.MTAID] = append(out[e.MTAID], e)
+		}
+	}
+	return out
+}
+
+// hasRest reports whether any entry's leading rest label matches.
+func hasRest(entries []dnsserver.LogEntry, label string, types ...dns.Type) bool {
+	for _, e := range entries {
+		if len(e.Rest) == 0 || e.Rest[0] != label {
+			continue
+		}
+		if len(types) == 0 {
+			return true
+		}
+		for _, t := range types {
+			if e.Type == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func countRestPrefix(entries []dnsserver.LogEntry, prefix string, types ...dns.Type) int {
+	n := 0
+	for _, e := range entries {
+		if len(e.Rest) == 0 || !strings.HasPrefix(e.Rest[0], prefix) {
+			continue
+		}
+		match := len(types) == 0
+		for _, t := range types {
+			if e.Type == t {
+				match = true
+			}
+		}
+		if match {
+			n++
+		}
+	}
+	return n
+}
+
+// SerialParallelResult is the §7.1 analysis.
+type SerialParallelResult struct {
+	Tested   int
+	Serial   int
+	Parallel int
+}
+
+// AnalyzeSerialParallel classifies each MTA's t01 evaluation: serial
+// validators query the a-mechanism target only after the shaped L3
+// include; parallel (prefetching) validators query it earlier.
+func AnalyzeSerialParallel(w *World) SerialParallelResult {
+	return AnalyzeSerialParallelEntries(w.Log.Entries())
+}
+
+// AnalyzeSerialParallelEntries is the offline (log-file) variant.
+func AnalyzeSerialParallelEntries(log []dnsserver.LogEntry) SerialParallelResult {
+	var out SerialParallelResult
+	for _, entries := range mtaQueries(log, "t01") {
+		var aTime, l3Time time.Time
+		for _, e := range entries {
+			if len(e.Rest) != 1 {
+				continue
+			}
+			switch {
+			case e.Rest[0] == "foo" && (e.Type == dns.TypeA || e.Type == dns.TypeAAAA):
+				if aTime.IsZero() || e.Time.Before(aTime) {
+					aTime = e.Time
+				}
+			case e.Rest[0] == "l3" && e.Type == dns.TypeTXT:
+				if l3Time.IsZero() || e.Time.Before(l3Time) {
+					l3Time = e.Time
+				}
+			}
+		}
+		// Only MTAs that progressed far enough to show both signals
+		// are classifiable (the paper tested 1,432 such MTAs).
+		if aTime.IsZero() || l3Time.IsZero() {
+			continue
+		}
+		out.Tested++
+		if aTime.After(l3Time) {
+			out.Serial++
+		} else {
+			out.Parallel++
+		}
+	}
+	return out
+}
+
+// LookupLimitResult is the §7.2 / Figure 5 analysis.
+type LookupLimitResult struct {
+	// Tested counts MTAs that fetched the t02 base policy.
+	Tested int
+	// QueriesPerMTA holds, per MTA, the number of DNS queries issued
+	// after the base query (0–46).
+	QueriesPerMTA []int
+	// HaltedBeforeTen counts MTAs stopping at or under the 10-lookup
+	// limit (the paper's "halted before 10 DNS queries").
+	HaltedBeforeTen int
+	// RanAll counts MTAs issuing all 46 follow-ups.
+	RanAll int
+	// MaxQueries is the tree size (46).
+	MaxQueries int
+}
+
+// AnalyzeLookupLimits derives the Figure 5 distribution from the t02
+// query log.
+func AnalyzeLookupLimits(w *World) LookupLimitResult {
+	return AnalyzeLookupLimitsEntries(w.Log.Entries())
+}
+
+// AnalyzeLookupLimitsEntries is the offline (log-file) variant.
+func AnalyzeLookupLimitsEntries(log []dnsserver.LogEntry) LookupLimitResult {
+	out := LookupLimitResult{MaxQueries: policy.LimitsTreeSize()}
+	for _, entries := range mtaQueries(log, "t02") {
+		base := false
+		followUps := 0
+		for _, e := range entries {
+			if e.Type != dns.TypeTXT {
+				continue
+			}
+			if len(e.Rest) == 0 {
+				base = true
+			} else {
+				followUps++
+			}
+		}
+		if !base {
+			continue
+		}
+		out.Tested++
+		out.QueriesPerMTA = append(out.QueriesPerMTA, followUps)
+		if followUps <= 10 {
+			out.HaltedBeforeTen++
+		}
+		if followUps >= out.MaxQueries {
+			out.RanAll++
+		}
+	}
+	sort.Ints(out.QueriesPerMTA)
+	return out
+}
+
+// CDF returns (x, fraction≤x) pairs over the query counts — the
+// Figure 5 curve. The elapsed-time axis is x × LimitsDelay.
+func (r LookupLimitResult) CDF() []CDFPoint {
+	if len(r.QueriesPerMTA) == 0 {
+		return nil
+	}
+	var out []CDFPoint
+	n := len(r.QueriesPerMTA)
+	for i, q := range r.QueriesPerMTA {
+		if i+1 < n && r.QueriesPerMTA[i+1] == q {
+			continue
+		}
+		out = append(out, CDFPoint{X: float64(q), Fraction: float64(i+1) / float64(n)})
+	}
+	return out
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	X        float64
+	Fraction float64
+}
+
+// SimpleShare is a tested/observed pair used by the §7.3 analyses.
+type SimpleShare struct {
+	Tested   int
+	Observed int
+}
+
+// Fraction returns Observed/Tested (0 when untested).
+func (s SimpleShare) Fraction() float64 {
+	if s.Tested == 0 {
+		return 0
+	}
+	return float64(s.Observed) / float64(s.Tested)
+}
+
+// BehaviorResults bundles the §7.3 analyses.
+type BehaviorResults struct {
+	// HELOChecked: MTAs that looked up the HELO-domain policy; all of
+	// them also evaluated MAIL (ContinuedToMail).
+	HELOChecked     SimpleShare
+	ContinuedToMail SimpleShare
+
+	// Syntax tolerance: lookups right of (t04) or after (t05) an error.
+	SyntaxMainTolerant  SimpleShare
+	SyntaxChildTolerant SimpleShare
+
+	// Void lookups: exceeded the 2-void limit; AllFive looked up all 5.
+	VoidExceeded SimpleShare
+	VoidAllFive  SimpleShare
+
+	// MXFallback: A/AAAA after an empty MX answer.
+	MXFallback SimpleShare
+
+	// Multiple records: permerror (followed none), one, or both.
+	MultipleNone SimpleShare
+	MultipleOne  SimpleShare
+	MultipleBoth SimpleShare
+
+	// TCP: of resolvers that received a truncated UDP answer, how many
+	// retried over TCP.
+	TCPRetried SimpleShare
+
+	// IPv6: of MTAs that fetched the t10 base policy, how many
+	// retrieved the v6-only follow-up.
+	IPv6Retrieved SimpleShare
+
+	// MXLimit: stopped at ≤10 address lookups; AllTwenty did all 20.
+	MXLimitCompliant SimpleShare
+	MXAllTwenty      SimpleShare
+}
+
+// AnalyzeBehaviors computes the §7.3 results from the query log.
+func AnalyzeBehaviors(w *World) *BehaviorResults {
+	return AnalyzeBehaviorsEntries(w.Log.Entries())
+}
+
+// AnalyzeBehaviorsEntries is the offline (log-file) variant.
+func AnalyzeBehaviorsEntries(log []dnsserver.LogEntry) *BehaviorResults {
+	out := &BehaviorResults{}
+
+	// t03: HELO check.
+	for _, entries := range mtaQueries(log, "t03") {
+		mailSeen := false
+		for _, e := range entries {
+			if len(e.Rest) == 0 && e.Type == dns.TypeTXT {
+				mailSeen = true
+			}
+		}
+		heloSeen := hasRest(entries, "helo", dns.TypeTXT)
+		if !mailSeen && !heloSeen {
+			continue
+		}
+		out.HELOChecked.Tested++
+		if heloSeen {
+			out.HELOChecked.Observed++
+			out.ContinuedToMail.Tested++
+			if mailSeen {
+				out.ContinuedToMail.Observed++
+			}
+		}
+	}
+
+	// t04: syntax error in the main policy.
+	for _, entries := range mtaQueries(log, "t04") {
+		if !baseTXTSeen(entries) {
+			continue
+		}
+		out.SyntaxMainTolerant.Tested++
+		if hasRest(entries, "after", dns.TypeA, dns.TypeAAAA) {
+			out.SyntaxMainTolerant.Observed++
+		}
+	}
+
+	// t05: syntax error in a child policy.
+	for _, entries := range mtaQueries(log, "t05") {
+		if !baseTXTSeen(entries) {
+			continue
+		}
+		out.SyntaxChildTolerant.Tested++
+		if hasRest(entries, "cont", dns.TypeA, dns.TypeAAAA) {
+			out.SyntaxChildTolerant.Observed++
+		}
+	}
+
+	// t06: void lookups.
+	for _, entries := range mtaQueries(log, "t06") {
+		if !baseTXTSeen(entries) {
+			continue
+		}
+		voids := countRestPrefix(entries, "v", dns.TypeA, dns.TypeAAAA)
+		out.VoidExceeded.Tested++
+		out.VoidAllFive.Tested++
+		if voids > 2 {
+			out.VoidExceeded.Observed++
+		}
+		if voids >= 5 {
+			out.VoidAllFive.Observed++
+		}
+	}
+
+	// t07: forbidden implicit-MX fallback.
+	for _, entries := range mtaQueries(log, "t07") {
+		if !baseTXTSeen(entries) {
+			continue
+		}
+		out.MXFallback.Tested++
+		if hasRest(entries, "nomx", dns.TypeA, dns.TypeAAAA) {
+			out.MXFallback.Observed++
+		}
+	}
+
+	// t08: multiple SPF records.
+	for _, entries := range mtaQueries(log, "t08") {
+		if !baseTXTSeen(entries) {
+			continue
+		}
+		one := hasRest(entries, "one", dns.TypeA, dns.TypeAAAA)
+		two := hasRest(entries, "two", dns.TypeA, dns.TypeAAAA)
+		out.MultipleNone.Tested++
+		out.MultipleOne.Tested++
+		out.MultipleBoth.Tested++
+		switch {
+		case one && two:
+			out.MultipleBoth.Observed++
+		case one || two:
+			out.MultipleOne.Observed++
+		default:
+			out.MultipleNone.Observed++
+		}
+	}
+
+	// t09: TCP retry after truncation.
+	for _, entries := range mtaQueries(log, "t09") {
+		sawUDP, sawTCP := false, false
+		for _, e := range entries {
+			if e.Transport == "udp" {
+				sawUDP = true
+			}
+			if e.Transport == "tcp" {
+				sawTCP = true
+			}
+		}
+		if !sawUDP && !sawTCP {
+			continue
+		}
+		out.TCPRetried.Tested++
+		if sawTCP {
+			out.TCPRetried.Observed++
+		}
+	}
+
+	// t10: IPv6-only follow-up retrieval.
+	for _, entries := range mtaQueries(log, "t10") {
+		if !baseTXTSeen(entries) {
+			continue
+		}
+		out.IPv6Retrieved.Tested++
+		for _, e := range entries {
+			if len(e.Rest) == 1 && e.Rest[0] == "l1" && e.OverIPv6 {
+				out.IPv6Retrieved.Observed++
+				break
+			}
+		}
+	}
+
+	// t11: MX address-lookup limit.
+	for _, entries := range mtaQueries(log, "t11") {
+		if !baseTXTSeen(entries) {
+			continue
+		}
+		lookups := 0
+		for _, e := range entries {
+			if len(e.Rest) == 1 && strings.HasPrefix(e.Rest[0], "mx") &&
+				e.Rest[0] != "mxfarm" && (e.Type == dns.TypeA || e.Type == dns.TypeAAAA) {
+				lookups++
+			}
+		}
+		out.MXLimitCompliant.Tested++
+		out.MXAllTwenty.Tested++
+		if lookups <= 10 {
+			out.MXLimitCompliant.Observed++
+		}
+		if lookups >= policy.MXLimitCount {
+			out.MXAllTwenty.Observed++
+		}
+	}
+
+	return out
+}
+
+func baseTXTSeen(entries []dnsserver.LogEntry) bool {
+	for _, e := range entries {
+		if len(e.Rest) == 0 && e.Type == dns.TypeTXT {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,383 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"sendervalid/internal/dataset"
+	"sendervalid/internal/mtasim"
+)
+
+// smallNotifySpec shrinks the NotifyEmail spec for test runs.
+func smallNotifySpec(n int, seed int64) dataset.Spec {
+	spec := dataset.NotifyEmailSpec(seed)
+	spec.NumDomains = n
+	spec.AlexaTop1M = n / 9
+	spec.AlexaTop1K = n / 60
+	return spec
+}
+
+func smallTwoWeekSpec(n int, seed int64) dataset.Spec {
+	spec := dataset.TwoWeekMXSpec(seed)
+	spec.NumDomains = n
+	spec.LocalDomains = 2
+	return spec
+}
+
+func buildTestWorld(t *testing.T, spec dataset.Spec, rates mtasim.Rates) *World {
+	t.Helper()
+	pop := dataset.Generate(spec)
+	w, err := BuildWorld(pop, WorldConfig{
+		Seed:       spec.Seed,
+		Rates:      rates,
+		TimeScale:  0.0005,
+		SPFTimeout: 20 * time.Second,
+		DNSTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestNotifyEmailExperiment(t *testing.T) {
+	w := buildTestWorld(t, smallNotifySpec(240, 11), NotifyRates())
+	run := RunNotifyEmail(context.Background(), w, 24)
+	a := AnalyzeNotifyEmail(w, run)
+
+	if a.Delivered < a.Domains*95/100 {
+		t.Fatalf("only %d of %d deliveries succeeded", a.Delivered, a.Domains)
+	}
+	spfRate := float64(a.SPFDomains) / float64(a.Domains)
+	if spfRate < 0.70 || spfRate > 0.95 {
+		t.Errorf("SPF-validating domain rate %.2f, paper ≈ 0.85", spfRate)
+	}
+	dkimRate := float64(a.DKIMDomains) / float64(a.Domains)
+	if dkimRate < 0.65 || dkimRate > 0.95 {
+		t.Errorf("DKIM rate %.2f, paper ≈ 0.82", dkimRate)
+	}
+	dmarcRate := float64(a.DMARCDomains) / float64(a.Domains)
+	if dmarcRate < 0.35 || dmarcRate > 0.70 {
+		t.Errorf("DMARC rate %.2f, paper ≈ 0.54", dmarcRate)
+	}
+
+	// Table 4 shape: all-three is the biggest combo; SPF+DKIM second
+	// among validating combos.
+	if a.Combos["YYY"] <= a.Combos["YYn"] {
+		t.Errorf("combo ordering: YYY=%d YYn=%d", a.Combos["YYY"], a.Combos["YYn"])
+	}
+	if a.Combos["nnn"] == 0 {
+		t.Error("no non-validating domains at all")
+	}
+
+	// Table 6: observed provider validation must equal the pinned
+	// expectations.
+	if len(a.Providers) != len(dataset.Providers) {
+		t.Fatalf("provider rows: %d", len(a.Providers))
+	}
+	for _, row := range a.Providers {
+		if row.SPF != row.Expected.SPF || row.DKIM != row.Expected.DKIM {
+			t.Errorf("%s observed (%v,%v,%v), expected (%v,%v,%v)",
+				row.Domain, row.SPF, row.DKIM, row.DMARC,
+				row.Expected.SPF, row.Expected.DKIM, row.Expected.DMARC)
+		}
+	}
+
+	// Table 7 monotonicity: top-1K ≥ top-1M ≥ all for SPF share.
+	al := a.Alexa
+	if al.Top1M == 0 || al.Top1K == 0 {
+		t.Fatal("no Alexa members in population")
+	}
+	allRate := float64(al.SPFAll) / float64(al.All)
+	top1MRate := float64(al.SPFTop1M) / float64(al.Top1M)
+	top1KRate := float64(al.SPFTop1K) / float64(al.Top1K)
+	if top1MRate < allRate-0.05 || top1KRate < top1MRate-0.10 {
+		t.Errorf("Alexa SPF rates not increasing: all=%.2f 1M=%.2f 1K=%.2f",
+			allRate, top1MRate, top1KRate)
+	}
+
+	// Figure 2: most validation happens before delivery completes.
+	b := Bucketize(a.TimingSamples)
+	if b.Total == 0 {
+		t.Fatal("no timing samples")
+	}
+	if frac := b.NegativeFraction(); frac < 0.70 || frac > 0.95 {
+		t.Errorf("negative timing fraction %.2f, paper ≈ 0.83", frac)
+	}
+
+	// Rendering must mention the key identifiers.
+	for _, out := range []string{
+		RenderTable4(a), RenderTable6(a), RenderTable7(a), RenderFigure2(a),
+	} {
+		if len(out) == 0 {
+			t.Error("empty rendering")
+		}
+	}
+	if !strings.Contains(RenderTable6(a), "gmail.com") {
+		t.Error("Table 6 rendering lacks providers")
+	}
+}
+
+func TestNotifyMXExperiment(t *testing.T) {
+	// Same population recipe as NotifyEmail, probed instead of mailed:
+	// the §6.2 contrast.
+	w := buildTestWorld(t, smallNotifySpec(240, 13), NotifyRates())
+	run := RunProbes(context.Background(), w, []string{"t12"}, 24)
+	a := AnalyzeProbes(w, run, false)
+
+	rate := float64(a.SPFDomains) / float64(a.Domains)
+	if rate < 0.35 || rate > 0.65 {
+		t.Errorf("NotifyMX SPF domain rate %.2f, paper ≈ 0.51", rate)
+	}
+	// The probe client is blacklisted: a large minority rejects it.
+	rejected := a.SpamRejected + a.BlacklistRejected
+	if rejected == 0 {
+		t.Error("no spam/blacklist rejections observed")
+	}
+	if a.ProbesTotal != len(w.Population.MTAs) {
+		t.Errorf("probes: %d for %d MTAs", a.ProbesTotal, len(w.Population.MTAs))
+	}
+	out := RenderTable5([]*ProbeAnalysis{a}, nil)
+	if !strings.Contains(out, "NotifyEmail") && !strings.Contains(out, a.Name) {
+		t.Errorf("Table 5 rendering:\n%s", out)
+	}
+}
+
+func TestTwoWeekMXExperiment(t *testing.T) {
+	w := buildTestWorld(t, smallTwoWeekSpec(300, 17), TwoWeekRates())
+	run := RunProbes(context.Background(), w, []string{"t12"}, 24)
+	a := AnalyzeProbes(w, run, true)
+
+	rate := float64(a.SPFDomains) / float64(a.Domains)
+	if rate < 0.04 || rate > 0.30 {
+		t.Errorf("TwoWeekMX SPF domain rate %.2f, paper ≈ 0.13", rate)
+	}
+	if len(a.Deciles) != 10 {
+		t.Fatalf("deciles: %d", len(a.Deciles))
+	}
+	total := 0
+	for _, d := range a.Deciles {
+		total += d.Domains
+	}
+	if total != a.Domains-2 { // minus the local domains
+		t.Errorf("decile coverage %d of %d", total, a.Domains)
+	}
+	// Postmaster dominates recipients (paper: 69%).
+	if a.PostmasterUsed == 0 {
+		t.Error("postmaster never used")
+	}
+}
+
+func TestBehaviorAnalyses(t *testing.T) {
+	// A small fleet probed with the behaviour-revealing tests.
+	w := buildTestWorld(t, smallNotifySpec(160, 19), NotifyRates())
+	tests := []string{"t01", "t02", "t03", "t04", "t05", "t06", "t07", "t08", "t09", "t11"}
+	RunProbes(context.Background(), w, tests, 24)
+
+	sp := AnalyzeSerialParallel(w)
+	if sp.Tested == 0 {
+		t.Fatal("no MTAs classifiable for serial/parallel")
+	}
+	serialFrac := float64(sp.Serial) / float64(sp.Tested)
+	if serialFrac < 0.85 {
+		t.Errorf("serial fraction %.2f, paper ≈ 0.97", serialFrac)
+	}
+
+	ll := AnalyzeLookupLimits(w)
+	if ll.Tested == 0 {
+		t.Fatal("no MTAs tested for lookup limits")
+	}
+	haltFrac := float64(ll.HaltedBeforeTen) / float64(ll.Tested)
+	ranAllFrac := float64(ll.RanAll) / float64(ll.Tested)
+	if haltFrac < 0.40 || haltFrac > 0.85 {
+		t.Errorf("halted-before-10 fraction %.2f, paper ≈ 0.61", haltFrac)
+	}
+	if ranAllFrac < 0.10 || ranAllFrac > 0.50 {
+		t.Errorf("ran-all fraction %.2f, paper ≈ 0.28", ranAllFrac)
+	}
+	if cdf := ll.CDF(); len(cdf) == 0 || cdf[len(cdf)-1].Fraction != 1 {
+		t.Errorf("CDF malformed: %v", cdf)
+	}
+
+	b := AnalyzeBehaviors(w)
+	if b.VoidExceeded.Tested == 0 || b.MXFallback.Tested == 0 || b.MultipleNone.Tested == 0 {
+		t.Fatalf("behaviour analyses missing data: %+v", b)
+	}
+	if f := b.VoidExceeded.Fraction(); f < 0.80 {
+		t.Errorf("void-exceeded fraction %.2f, paper ≈ 0.97", f)
+	}
+	if f := b.MultipleNone.Fraction(); f < 0.55 || f > 0.95 {
+		t.Errorf("multiple-none fraction %.2f, paper ≈ 0.77", f)
+	}
+	if b.MultipleBoth.Observed != 0 {
+		t.Errorf("an MTA followed both policies (paper observed none): %+v", b.MultipleBoth)
+	}
+	if f := b.TCPRetried.Fraction(); f < 0.95 {
+		t.Errorf("TCP retry fraction %.2f, paper ≈ 0.999", f)
+	}
+	if f := b.MXAllTwenty.Fraction(); f < 0.40 {
+		t.Errorf("all-20-MX fraction %.2f, paper ≈ 0.64", f)
+	}
+	if b.HELOChecked.Observed > 0 && b.ContinuedToMail.Fraction() != 1 {
+		t.Errorf("HELO checkers must all continue to MAIL: %+v", b.ContinuedToMail)
+	}
+
+	out := RenderBehaviors(sp, b)
+	for _, want := range []string{"serial", "void", "TCP", "MX"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("behaviour rendering lacks %q:\n%s", want, out)
+		}
+	}
+	_ = RenderFigure5(ll, 0.8)
+}
+
+func TestFingerprintPipeline(t *testing.T) {
+	w := buildTestWorld(t, smallNotifySpec(120, 29), NotifyRates())
+	RunProbes(context.Background(), w,
+		[]string{"t01", "t02", "t04", "t05", "t06", "t07", "t08", "t09", "t11"}, 24)
+	clusters, vectors := AnalyzeFingerprints(w)
+	if len(clusters) == 0 || len(vectors) == 0 {
+		t.Fatal("no fingerprints extracted")
+	}
+	// Every vector belongs to exactly one cluster.
+	covered := 0
+	for _, c := range clusters {
+		covered += len(c.MTAs)
+	}
+	if covered != len(vectors) {
+		t.Errorf("clusters cover %d of %d vectors", covered, len(vectors))
+	}
+	// The dominant family should be the compliant serial validator:
+	// y (serial), y (lookup-limit), n (full tree) prefix.
+	if !strings.HasPrefix(clusters[0].Signature, "yyn") {
+		t.Errorf("dominant family %q", clusters[0].Signature)
+	}
+	out := RenderFingerprints(clusters, vectors, 5)
+	if !strings.Contains(out, "behavioural families") {
+		t.Errorf("rendering:\n%s", out)
+	}
+}
+
+func TestRenderStaticTables(t *testing.T) {
+	ne := dataset.Generate(smallNotifySpec(300, 23))
+	tw := dataset.Generate(smallTwoWeekSpec(300, 23))
+	t1 := RenderTable1(ne, tw)
+	if !strings.Contains(t1, "com") || !strings.Contains(t1, "total TLDs") {
+		t.Errorf("Table 1:\n%s", t1)
+	}
+	t2 := RenderTable2([]Table2Row{Table2RowFor(ne), Table2RowFor(tw)})
+	if !strings.Contains(t2, "NotifyEmail") || !strings.Contains(t2, "TwoWeekMX") {
+		t.Errorf("Table 2:\n%s", t2)
+	}
+	t3 := RenderTable3(ne, tw)
+	if !strings.Contains(t3, "AS15169") || !strings.Contains(t3, "Google") {
+		t.Errorf("Table 3:\n%s", t3)
+	}
+}
+
+func TestAllTestsList(t *testing.T) {
+	all := AllTests()
+	if len(all) != 39 || all[0] != "t01" || all[38] != "t39" {
+		t.Errorf("AllTests: %v", all)
+	}
+}
+
+func TestSortedComboKeys(t *testing.T) {
+	keys := SortedComboKeys(map[string]int{"nnn": 1, "YYY": 2, "zzz": 3})
+	if len(keys) != 3 || keys[0] != "YYY" || keys[2] != "zzz" {
+		t.Errorf("keys %v", keys)
+	}
+}
+
+func TestBucketize(t *testing.T) {
+	b := Bucketize([]float64{-45, -20, -5, 5, 20, 45})
+	if b.LE30Neg != 1 || b.Neg15 != 1 || b.Neg0 != 1 ||
+		b.Pos15 != 1 || b.Pos30 != 1 || b.GE30 != 1 {
+		t.Errorf("buckets %+v", b)
+	}
+	if b.NegativeFraction() != 0.5 {
+		t.Errorf("negative fraction %.2f", b.NegativeFraction())
+	}
+	if (Figure2Buckets{}).NegativeFraction() != 0 {
+		t.Error("empty buckets")
+	}
+}
+
+func TestCrossExperimentConsistency(t *testing.T) {
+	// The §6.2 contrast: the same population mailed and probed.
+	pop := dataset.Generate(smallNotifySpec(300, 47))
+	neWorld, err := BuildWorld(pop, WorldConfig{
+		Seed: 47, Rates: NotifyRates(), TimeScale: 0.0005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neRun := RunNotifyEmail(context.Background(), neWorld, 24)
+	ne := AnalyzeNotifyEmail(neWorld, neRun)
+	neWorld.Close()
+
+	probeWorld, err := BuildWorld(pop, WorldConfig{
+		Seed: 53, Rates: NotifyRates(), TimeScale: 0.0005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probeWorld.Close()
+	probeRun := RunProbes(context.Background(), probeWorld, []string{"t12"}, 24)
+	probes := AnalyzeProbes(probeWorld, probeRun, false)
+
+	c := Compare(neWorld, ne, probes)
+	if c.CommonDomains != 300 {
+		t.Fatalf("common domains %d", c.CommonDomains)
+	}
+	if c.Inconsistent() == 0 {
+		t.Fatal("no inconsistencies observed — the §6.2 contrast vanished")
+	}
+	// The dominant inconsistency is mail-validated-but-probe-silent
+	// (paper: 95% of inconsistencies).
+	if f := c.EmailOnlyFraction(); f < 0.75 {
+		t.Errorf("email-only fraction %.2f, paper ≈ 0.95", f)
+	}
+	// Re-observation rate near the paper's 65%.
+	if f := c.ReobservedFraction(); f < 0.45 || f > 0.85 {
+		t.Errorf("re-observed fraction %.2f, paper ≈ 0.65", f)
+	}
+	out := RenderConsistency(c)
+	if !strings.Contains(out, "re-observed") {
+		t.Errorf("rendering:\n%s", out)
+	}
+}
+
+func TestFullCatalogProbeRun(t *testing.T) {
+	// Drive all 39 test policies through the complete probe pipeline
+	// against a small fleet: every policy must be servable end to end
+	// without stalling a probe or crashing an MTA.
+	w := buildTestWorld(t, smallNotifySpec(60, 59), NotifyRates())
+	run := RunProbes(context.Background(), w, AllTests(), 16)
+	if got := len(run.Results); got != len(w.Population.MTAs) {
+		t.Fatalf("results for %d of %d MTAs", got, len(w.Population.MTAs))
+	}
+	probesPerMTA := 0
+	for _, results := range run.Results {
+		probesPerMTA = len(results)
+		break
+	}
+	if probesPerMTA != 39 {
+		t.Errorf("probes per MTA: %d", probesPerMTA)
+	}
+	// Validating MTAs must have touched the extended policies too.
+	tests := w.Log.ByTest()
+	for _, id := range []string{"t13", "t16", "t27", "t37", "t39"} {
+		if len(tests[id]) == 0 {
+			t.Errorf("no queries observed for %s", id)
+		}
+	}
+	// The catalog-wide run still yields a sane Table 5 signal.
+	a := AnalyzeProbes(w, run, false)
+	if a.SPFMTAs == 0 || a.SPFMTAs > a.MTAs {
+		t.Errorf("SPF MTAs %d of %d", a.SPFMTAs, a.MTAs)
+	}
+}

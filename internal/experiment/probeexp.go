@@ -1,0 +1,234 @@
+package experiment
+
+import (
+	"context"
+	mrand "math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"sendervalid/internal/dataset"
+	"sendervalid/internal/probe"
+)
+
+// CoreTests is the subset of the 39-policy catalog whose results the
+// paper reports (§6–§7); experiment drivers default to it.
+var CoreTests = []string{
+	"t01", "t02", "t03", "t04", "t05", "t06",
+	"t07", "t08", "t09", "t10", "t11", "t12",
+}
+
+// AllTests lists the full 39-policy catalog IDs.
+func AllTests() []string {
+	out := make([]string, 0, 39)
+	for i := 1; i <= 39; i++ {
+		out = append(out, testID(i))
+	}
+	return out
+}
+
+func testID(i int) string {
+	return "t" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// ProbeRun is the raw outcome of a NotifyMX or TwoWeekMX experiment.
+type ProbeRun struct {
+	// Results collects every probe, keyed by MTA id.
+	Results map[string][]*probe.Result
+	// Tests is the test-ID list each MTA was probed with.
+	Tests []string
+	// Started and Finished bound the run.
+	Started, Finished time.Time
+}
+
+// RunProbes executes the probe experiment against every MTA in the
+// population: all test policies per MTA, MTA order shuffled (paper
+// §5.2), bounded worker concurrency, and the probing client pinned to
+// its (blacklisted) source addresses.
+func RunProbes(ctx context.Context, w *World, tests []string, workers int) *ProbeRun {
+	if len(tests) == 0 {
+		tests = CoreTests
+	}
+	if workers <= 0 {
+		workers = 32
+	}
+	client := &probe.Client{
+		Dialer:          w.Fabric.BoundDialer(ProbeAddr4, ProbeAddr6),
+		Suffix:          DefaultTestSuffix,
+		HeloDomain:      "probe.dns-lab.example",
+		RecipientDomain: "", // set per MTA below via recipientDomain
+		HeloTestID:      "t03",
+		Timeout:         10 * time.Second,
+	}
+
+	run := &ProbeRun{
+		Results: make(map[string][]*probe.Result, len(w.Population.MTAs)),
+		Tests:   tests,
+		Started: time.Now(),
+	}
+
+	// One recipient domain per MTA: the first domain designating it
+	// (paper §5.2: one recipient domain selected per MTA).
+	recipientDomain := make(map[string]string)
+	for _, d := range w.Population.Domains {
+		for _, m := range d.MTAs {
+			if _, ok := recipientDomain[m.ID]; !ok {
+				recipientDomain[m.ID] = d.Name
+			}
+		}
+	}
+
+	order := append([]*dataset.MTAInfo(nil), w.Population.MTAs...)
+	mrand.New(mrand.NewSource(w.cfg.Seed^0x5bd1e995)).Shuffle(len(order), func(i, j int) {
+		order[i], order[j] = order[j], order[i]
+	})
+
+	var mu sync.Mutex
+	jobs := make(chan *dataset.MTAInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for info := range jobs {
+				c := *client
+				c.RecipientDomain = recipientDomain[info.ID]
+				results := c.ProbeAll(ctx, info.Addr4, info.ID, tests)
+				mu.Lock()
+				run.Results[info.ID] = results
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, info := range order {
+		if ctx.Err() != nil {
+			break
+		}
+		jobs <- info
+	}
+	close(jobs)
+	wg.Wait()
+	w.Quiesce()
+	run.Finished = time.Now()
+	return run
+}
+
+// ProbeAnalysis is the Table 5 summary of a probe experiment.
+type ProbeAnalysis struct {
+	Name string
+
+	Domains int
+	MTAs    int
+	// SPFMTAs and SPFDomains count SPF-validating MTAs/domains: at
+	// least one query observed under the test zone.
+	SPFMTAs    int
+	SPFDomains int
+
+	// Rejection observations (§6.2).
+	SpamRejected      int
+	BlacklistRejected int
+	InvalidRecipient  int
+	PostmasterUsed    int
+	ProbesCompleted   int
+	ProbesTotal       int
+
+	// Deciles is the per-decile Table 5 breakdown (TwoWeekMX only;
+	// nil otherwise). Decile 1 is the most-queried tenth.
+	Deciles []DecileRow
+
+	// ValidatingMTASet exposes the observed MTA ids for cross-
+	// experiment comparisons (§6.2's NotifyEmail vs NotifyMX contrast).
+	ValidatingMTASet map[string]bool
+}
+
+// DecileRow is one TwoWeekMX decile line of Table 5.
+type DecileRow struct {
+	Decile     int
+	Domains    int
+	MTAs       int
+	SPFDomains int
+	SPFMTAs    int
+}
+
+// AnalyzeProbes derives the Table 5 numbers from the query log.
+func AnalyzeProbes(w *World, run *ProbeRun, withDeciles bool) *ProbeAnalysis {
+	a := &ProbeAnalysis{
+		Name:             w.Population.Name,
+		Domains:          len(w.Population.Domains),
+		MTAs:             len(w.Population.MTAs),
+		ValidatingMTASet: make(map[string]bool),
+	}
+
+	// An MTA is SPF-validating when any query under the test zone is
+	// attributed to it (§6 definition).
+	for _, e := range w.Log.Entries() {
+		if e.MTAID != "" && e.TestID != "" {
+			a.ValidatingMTASet[e.MTAID] = true
+		}
+	}
+	a.SPFMTAs = len(a.ValidatingMTASet)
+
+	validatingDomain := func(d *dataset.Domain) bool {
+		for _, m := range d.MTAs {
+			if a.ValidatingMTASet[m.ID] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range w.Population.Domains {
+		if validatingDomain(d) {
+			a.SPFDomains++
+		}
+	}
+
+	// Probe-outcome accounting.
+	rejectedMTAs := make(map[string]*probe.Result)
+	for id, results := range run.Results {
+		for _, r := range results {
+			a.ProbesTotal++
+			if r.Stage == probe.StageDone {
+				a.ProbesCompleted++
+			}
+			if r.Rejected() && rejectedMTAs[id] == nil {
+				rejectedMTAs[id] = r
+			}
+			if strings.HasPrefix(r.Recipient, "postmaster@") {
+				a.PostmasterUsed++
+			}
+		}
+	}
+	for _, r := range rejectedMTAs {
+		switch {
+		case r.MentionsBlacklist():
+			a.BlacklistRejected++
+		case r.MentionsSpam():
+			a.SpamRejected++
+		case r.Stage == probe.StageRcpt:
+			a.InvalidRecipient++
+		}
+	}
+
+	if withDeciles {
+		for i, dec := range w.Population.Deciles() {
+			row := DecileRow{Decile: i + 1, Domains: len(dec)}
+			mtas := make(map[string]bool)
+			for _, d := range dec {
+				if validatingDomain(d) {
+					row.SPFDomains++
+				}
+				for _, m := range d.MTAs {
+					if !mtas[m.ID] {
+						mtas[m.ID] = true
+						row.MTAs++
+						if a.ValidatingMTASet[m.ID] {
+							row.SPFMTAs++
+						}
+					}
+				}
+			}
+			a.Deciles = append(a.Deciles, row)
+		}
+	}
+	return a
+}

@@ -1,0 +1,292 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sendervalid/internal/dataset"
+)
+
+// pct renders a fraction of a total as a percentage string.
+func pct(n, total int) string {
+	if total == 0 {
+		return "–"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(n)/float64(total))
+}
+
+func pct1(n, total int) string {
+	if total == 0 {
+		return "–"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+}
+
+func mark(b bool) string {
+	if b {
+		return "Y"
+	}
+	return "x"
+}
+
+// RenderTable1 prints the top-10 TLD shares of a population (Table 1).
+func RenderTable1(pops ...*dataset.Population) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: most prevalent TLDs per dataset\n")
+	for _, p := range pops {
+		fmt.Fprintf(&sb, "-- %s --\n", p.Name)
+		shares := p.TLDShares()
+		if len(shares) > 10 {
+			shares = shares[:10]
+		}
+		for _, s := range shares {
+			fmt.Fprintf(&sb, "  %-8s %5.1f%%\n", s.TLD, 100*s.Weight)
+		}
+		total := map[string]bool{}
+		for _, d := range p.Domains {
+			total[d.TLD] = true
+		}
+		fmt.Fprintf(&sb, "  total TLDs: %d\n", len(total))
+	}
+	return sb.String()
+}
+
+// RenderTable2 prints the dataset size summary (Table 2).
+func RenderTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: data sets used for experimentation\n")
+	fmt.Fprintf(&sb, "  %-12s %10s %10s %10s\n", "data set", "domains", "MTAs v4", "MTAs v6")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-12s %10d %10d %10d\n", r.Name, r.Domains, r.MTAsV4, r.MTAsV6)
+	}
+	return sb.String()
+}
+
+// Table2Row summarizes one dataset for Table 2.
+type Table2Row struct {
+	Name    string
+	Domains int
+	MTAsV4  int
+	MTAsV6  int
+}
+
+// Table2RowFor derives the row from a population.
+func Table2RowFor(p *dataset.Population) Table2Row {
+	v4, v6 := p.CountV4V6()
+	return Table2Row{Name: p.Name, Domains: len(p.Domains), MTAsV4: v4, MTAsV6: v6}
+}
+
+// RenderTable3 prints the top-10 AS shares (Table 3).
+func RenderTable3(pops ...*dataset.Population) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: most prevalent ASes by domain share\n")
+	for _, p := range pops {
+		fmt.Fprintf(&sb, "-- %s --\n", p.Name)
+		shares := p.ASShares()
+		if len(shares) > 10 {
+			shares = shares[:10]
+		}
+		for _, s := range shares {
+			fmt.Fprintf(&sb, "  AS%-6d %-16s %5.1f%%\n", s.ASN, s.Name, 100*s.DomainShare)
+		}
+		fmt.Fprintf(&sb, "  total ASes: %d\n", p.TotalASes)
+	}
+	return sb.String()
+}
+
+// comboOrder lists Table 4 rows in the paper's order.
+var comboOrder = []struct {
+	key   string
+	label string
+}{
+	{"YYY", "SPF+DKIM+DMARC"},
+	{"YYn", "SPF+DKIM"},
+	{"nnn", "none"},
+	{"Ynn", "SPF only"},
+	{"nYn", "DKIM only"},
+	{"nnY", "DMARC only"},
+	{"YnY", "SPF+DMARC"},
+	{"nYY", "DKIM+DMARC"},
+}
+
+// RenderTable4 prints the validation-combination breakdown (Table 4).
+func RenderTable4(a *NotifyEmailAnalysis) string {
+	var sb strings.Builder
+	sb.WriteString("Table 4: SPF/DKIM/DMARC validation combinations (NotifyEmail domains)\n")
+	fmt.Fprintf(&sb, "  %-16s %8s %7s\n", "combination", "domains", "share")
+	for _, c := range comboOrder {
+		n := a.Combos[c.key]
+		fmt.Fprintf(&sb, "  %-16s %8d %7s\n", c.label, n, pct1(n, a.Domains))
+	}
+	return sb.String()
+}
+
+// RenderTable5 prints the SPF-validating summary (Table 5).
+func RenderTable5(rows []*ProbeAnalysis, notifyEmail *NotifyEmailAnalysis) string {
+	var sb strings.Builder
+	sb.WriteString("Table 5: SPF-validating domains and MTAs\n")
+	fmt.Fprintf(&sb, "  %-22s %9s %9s %14s %14s\n",
+		"experiment", "domains", "MTAs", "SPF domains", "SPF MTAs")
+	if notifyEmail != nil {
+		fmt.Fprintf(&sb, "  %-22s %9d %9d %8d (%4s) %8d (%4s)\n",
+			"NotifyEmail", notifyEmail.Domains, notifyEmail.ContactedMTAs,
+			notifyEmail.SPFDomains, pct(notifyEmail.SPFDomains, notifyEmail.Domains),
+			notifyEmail.SPFMTAs, pct(notifyEmail.SPFMTAs, notifyEmail.ContactedMTAs))
+	}
+	for _, a := range rows {
+		fmt.Fprintf(&sb, "  %-22s %9d %9d %8d (%4s) %8d (%4s)\n",
+			a.Name, a.Domains, a.MTAs,
+			a.SPFDomains, pct(a.SPFDomains, a.Domains),
+			a.SPFMTAs, pct(a.SPFMTAs, a.MTAs))
+		for _, dec := range a.Deciles {
+			fmt.Fprintf(&sb, "  %-22s %9d %9d %8d (%4s) %8d (%4s)\n",
+				fmt.Sprintf("%s decile %d", a.Name, dec.Decile),
+				dec.Domains, dec.MTAs,
+				dec.SPFDomains, pct(dec.SPFDomains, dec.Domains),
+				dec.SPFMTAs, pct(dec.SPFMTAs, dec.MTAs))
+		}
+	}
+	return sb.String()
+}
+
+// RenderTable6 prints the popular-provider breakdown (Table 6).
+func RenderTable6(a *NotifyEmailAnalysis) string {
+	var sb strings.Builder
+	sb.WriteString("Table 6: validation by popular mail providers (observed / expected)\n")
+	fmt.Fprintf(&sb, "  %-16s %5s %5s %6s\n", "domain", "SPF", "DKIM", "DMARC")
+	for _, row := range a.Providers {
+		fmt.Fprintf(&sb, "  %-16s %3s/%s %3s/%s %4s/%s\n",
+			row.Domain,
+			mark(row.SPF), mark(row.Expected.SPF),
+			mark(row.DKIM), mark(row.Expected.DKIM),
+			mark(row.DMARC), mark(row.Expected.DMARC))
+	}
+	return sb.String()
+}
+
+// RenderTable7 prints the Alexa breakdown (Table 7).
+func RenderTable7(a *NotifyEmailAnalysis) string {
+	al := a.Alexa
+	var sb strings.Builder
+	sb.WriteString("Table 7: validation by Alexa membership\n")
+	fmt.Fprintf(&sb, "  %-18s %14s %14s %14s\n", "", "all", "top 1M", "top 1K")
+	fmt.Fprintf(&sb, "  %-18s %14d %14d %14d\n", "domains", al.All, al.Top1M, al.Top1K)
+	fmt.Fprintf(&sb, "  %-18s %8d (%4s) %8d (%4s) %8d (%4s)\n", "SPF-validating",
+		al.SPFAll, pct(al.SPFAll, al.All),
+		al.SPFTop1M, pct(al.SPFTop1M, al.Top1M),
+		al.SPFTop1K, pct(al.SPFTop1K, al.Top1K))
+	fmt.Fprintf(&sb, "  %-18s %8d (%4s) %8d (%4s) %8d (%4s)\n", "DKIM-validating",
+		al.DKIMAll, pct(al.DKIMAll, al.All),
+		al.DKIMTop1M, pct(al.DKIMTop1M, al.Top1M),
+		al.DKIMTop1K, pct(al.DKIMTop1K, al.Top1K))
+	fmt.Fprintf(&sb, "  %-18s %8d (%4s) %8d (%4s) %8d (%4s)\n", "DMARC-validating",
+		al.DMARCAll, pct(al.DMARCAll, al.All),
+		al.DMARCTop1M, pct(al.DMARCTop1M, al.Top1M),
+		al.DMARCTop1K, pct(al.DMARCTop1K, al.Top1K))
+	return sb.String()
+}
+
+// RenderFigure2 prints the timing histogram (Figure 2) as text bars.
+func RenderFigure2(a *NotifyEmailAnalysis) string {
+	b := Bucketize(a.TimingSamples)
+	var sb strings.Builder
+	sb.WriteString("Figure 2: distribution of tSPF − tEmail (paper-equivalent seconds)\n")
+	rows := []struct {
+		label string
+		n     int
+	}{
+		{"<= -30", b.LE30Neg},
+		{"(-30,-15]", b.Neg15},
+		{"(-15,0]", b.Neg0},
+		{"(0,15]", b.Pos15},
+		{"(15,30]", b.Pos30},
+		{"> 30", b.GE30},
+	}
+	for _, r := range rows {
+		bar := strings.Repeat("#", barLen(r.n, b.Total, 50))
+		fmt.Fprintf(&sb, "  %-10s %6s %s\n", r.label, pct1(r.n, b.Total), bar)
+	}
+	fmt.Fprintf(&sb, "  negative (validated before delivery): %s of %d domains; %d sub-granularity samples filtered\n",
+		pct(b.LE30Neg+b.Neg15+b.Neg0, b.Total), b.Total, a.TimingFiltered)
+	return sb.String()
+}
+
+func barLen(n, total, width int) int {
+	if total == 0 {
+		return 0
+	}
+	return n * width / total
+}
+
+// RenderFigure5 prints the lookup-limit CDF (Figure 5).
+func RenderFigure5(r LookupLimitResult, delaySeconds float64) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: CDF of DNS queries (and elapsed-time lower bound) on the limits policy\n")
+	fmt.Fprintf(&sb, "  MTAs tested: %d\n", r.Tested)
+	for _, p := range r.CDF() {
+		fmt.Fprintf(&sb, "  %3.0f queries (>= %5.1fs) : %5.1f%% %s\n",
+			p.X, p.X*delaySeconds, 100*p.Fraction,
+			strings.Repeat("#", int(p.Fraction*40)))
+	}
+	fmt.Fprintf(&sb, "  halted before 10 queries: %s; ran all %d: %s\n",
+		pct(r.HaltedBeforeTen, r.Tested), r.MaxQueries, pct(r.RanAll, r.Tested))
+	return sb.String()
+}
+
+// RenderBehaviors prints the §7 behaviour summary.
+func RenderBehaviors(sp SerialParallelResult, b *BehaviorResults) string {
+	var sb strings.Builder
+	sb.WriteString("Section 7: SPF validation behaviours\n")
+	fmt.Fprintf(&sb, "  §7.1 serial DNS lookups:        %d/%d (%s)\n",
+		sp.Serial, sp.Tested, pct(sp.Serial, sp.Tested))
+	lines := []struct {
+		label string
+		s     SimpleShare
+	}{
+		{"§7.3 HELO policy checked", b.HELOChecked},
+		{"§7.3 ...continued to MAIL", b.ContinuedToMail},
+		{"§7.3 tolerated main-policy error", b.SyntaxMainTolerant},
+		{"§7.3 tolerated child-policy error", b.SyntaxChildTolerant},
+		{"§7.3 exceeded 2 void lookups", b.VoidExceeded},
+		{"§7.3 looked up all five voids", b.VoidAllFive},
+		{"§7.3 forbidden MX->A fallback", b.MXFallback},
+		{"§7.3 multiple records: none", b.MultipleNone},
+		{"§7.3 multiple records: one", b.MultipleOne},
+		{"§7.3 multiple records: both", b.MultipleBoth},
+		{"§7.3 TCP retry after truncation", b.TCPRetried},
+		{"§7.3 retrieved IPv6-only policy", b.IPv6Retrieved},
+		{"§7.3 MX limit respected (<=10)", b.MXLimitCompliant},
+		{"§7.3 queried all 20 MX hosts", b.MXAllTwenty},
+	}
+	for _, l := range lines {
+		fmt.Fprintf(&sb, "  %-34s %5d/%-5d (%s)\n",
+			l.label+":", l.s.Observed, l.s.Tested, pct(l.s.Observed, l.s.Tested))
+	}
+	return sb.String()
+}
+
+// SortedComboKeys returns the Table 4 combination keys in paper order,
+// for callers iterating the Combos map deterministically.
+func SortedComboKeys(combos map[string]int) []string {
+	keys := make([]string, 0, len(combos))
+	for _, c := range comboOrder {
+		if _, ok := combos[c.key]; ok {
+			keys = append(keys, c.key)
+		}
+	}
+	var extra []string
+	for k := range combos {
+		known := false
+		for _, c := range comboOrder {
+			if c.key == k {
+				known = true
+			}
+		}
+		if !known {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	return append(keys, extra...)
+}

@@ -1,0 +1,445 @@
+package mtasim
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"sendervalid/internal/authres"
+	"sendervalid/internal/dkim"
+	"sendervalid/internal/dmarc"
+	"sendervalid/internal/netsim"
+	"sendervalid/internal/resolver"
+	"sendervalid/internal/smtp"
+	"sendervalid/internal/spf"
+)
+
+// Config wires one simulated MTA into the world.
+type Config struct {
+	// ID is the MTA's identifier in the experiment ("m00042").
+	ID string
+	// Hostname is announced over SMTP.
+	Hostname string
+	// Addr4 and Addr6 are the MTA's synthetic public addresses; it
+	// listens on port 25 of each valid one.
+	Addr4 netip.Addr
+	Addr6 netip.Addr
+	// Profile governs behaviour.
+	Profile Profile
+	// Fabric carries the MTA's SMTP traffic.
+	Fabric *netsim.Fabric
+	// DNSAddr and DNSAddr6 are the upstream DNS endpoints for the
+	// MTA's resolver.
+	DNSAddr  string
+	DNSAddr6 string
+	// SPFTimeout bounds one SPF evaluation. Zero means the RFC's 20 s.
+	SPFTimeout time.Duration
+	// DNSTimeout bounds one DNS exchange. Zero means 5 s.
+	DNSTimeout time.Duration
+	// PostDataDelay is how long after accepting a message a PostData
+	// validator waits before validating (Figure 2's positive tail).
+	PostDataDelay time.Duration
+	// BlacklistedSources restricts RejectProbe to sessions from these
+	// client addresses (the study's probing client landed on real
+	// blacklists, §6.2; mail from other sources is unaffected). Empty
+	// means RejectProbe rejects every session.
+	BlacklistedSources []netip.Addr
+}
+
+// Stats counts an MTA's activity.
+type Stats struct {
+	Sessions         int
+	RejectedSessions int
+	SPFChecks        int
+	HELOChecks       int
+	DKIMChecks       int
+	DMARCChecks      int
+	MessagesAccepted int
+	MessagesRejected int
+}
+
+// MTA is one simulated receiving mail server.
+type MTA struct {
+	cfg      Config
+	resolver *resolver.Resolver
+	checker  *spf.Checker
+	server   *smtp.Server
+
+	mu           sync.Mutex
+	stats        Stats
+	async        sync.WaitGroup
+	closed       bool
+	accumulators map[string]*dmarc.Accumulator
+	lastAuthRes  string
+}
+
+// New builds an MTA from cfg. Start must be called to serve.
+func New(cfg Config) *MTA {
+	res := resolver.New(resolver.Config{
+		Server:     cfg.DNSAddr,
+		Server6:    cfg.DNSAddr6,
+		Transport:  cfg.Profile.ResolverTransport,
+		DisableTCP: cfg.Profile.ResolverNoTCP,
+		Timeout:    cfg.DNSTimeout,
+	})
+	opts := cfg.Profile.SPFOptions
+	if cfg.SPFTimeout > 0 && opts.Timeout == 0 {
+		opts.Timeout = cfg.SPFTimeout
+	}
+	opts.Receiver = cfg.Hostname
+	m := &MTA{
+		cfg:      cfg,
+		resolver: res,
+		checker:  &spf.Checker{Resolver: res, Options: opts},
+	}
+	m.server = &smtp.Server{
+		Hostname:    cfg.Hostname,
+		Extensions:  []string{"8BITMIME", "SIZE 10485760"},
+		ReadTimeout: 120 * time.Second,
+		Handler: smtp.Handler{
+			OnConnect: m.onConnect,
+			OnHelo:    m.onHelo,
+			OnMail:    m.onMail,
+			OnRcpt:    m.onRcpt,
+			OnData:    m.onData,
+			OnMessage: m.onMessage,
+		},
+	}
+	return m
+}
+
+// ID returns the MTA's identifier.
+func (m *MTA) ID() string { return m.cfg.ID }
+
+// Profile returns the MTA's behaviour profile.
+func (m *MTA) Profile() Profile { return m.cfg.Profile }
+
+// Addrs returns the MTA's listening addresses.
+func (m *MTA) Addrs() (netip.Addr, netip.Addr) { return m.cfg.Addr4, m.cfg.Addr6 }
+
+// Start registers the MTA's listeners on the fabric and begins
+// serving.
+func (m *MTA) Start() error {
+	started := 0
+	for _, addr := range []netip.Addr{m.cfg.Addr4, m.cfg.Addr6} {
+		if !addr.IsValid() {
+			continue
+		}
+		ln, err := m.cfg.Fabric.Listen(netip.AddrPortFrom(addr, 25))
+		if err != nil {
+			return fmt.Errorf("mtasim: %s: %w", m.cfg.ID, err)
+		}
+		go m.server.Serve(ln)
+		started++
+	}
+	if started == 0 {
+		return fmt.Errorf("mtasim: %s has no valid addresses", m.cfg.ID)
+	}
+	return nil
+}
+
+// Close stops serving and waits for asynchronous validations.
+func (m *MTA) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.server.Close()
+	m.async.Wait()
+}
+
+// Wait blocks until asynchronous (post-data) validations finish.
+func (m *MTA) Wait() { m.async.Wait() }
+
+// Stats returns a snapshot of the MTA's counters.
+func (m *MTA) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *MTA) bump(f func(*Stats)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f(&m.stats)
+}
+
+// --- SMTP hooks ---
+
+func (m *MTA) onConnect(s *smtp.Session) *smtp.Reply {
+	m.bump(func(st *Stats) { st.Sessions++ })
+	if m.cfg.Profile.RejectProbe && m.blacklisted(s.ClientIP) {
+		m.bump(func(st *Stats) { st.RejectedSessions++ })
+		return &smtp.Reply{Code: 554, Text: m.cfg.Profile.RejectText}
+	}
+	return nil
+}
+
+// blacklisted reports whether the client address triggers the
+// profile's probe rejection.
+func (m *MTA) blacklisted(ip netip.Addr) bool {
+	if len(m.cfg.BlacklistedSources) == 0 {
+		return true
+	}
+	for _, b := range m.cfg.BlacklistedSources {
+		if b == ip {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *MTA) onHelo(s *smtp.Session) *smtp.Reply {
+	// The HELO identity check runs together with MAIL validation (see
+	// runSPF): the paper observed every HELO-checking MTA proceeding
+	// to the MAIL identity (§7.3), which matches implementations that
+	// evaluate both identities in one validation pass.
+	return nil
+}
+
+func (m *MTA) onMail(s *smtp.Session, from string) *smtp.Reply {
+	p := m.cfg.Profile
+	if p.ValidatesSPF && m.effectivePhase() == AtMail {
+		outcome := m.runSPF(s, from)
+		if outcome != nil && p.EnforceSPF && outcome.Result == spf.Fail {
+			m.bump(func(st *Stats) { st.MessagesRejected++ })
+			return &smtp.Reply{Code: 550, Text: "5.7.1 SPF validation failed for " + smtp.DomainOf(from)}
+		}
+	}
+	return nil
+}
+
+// effectivePhase resolves the configured phase against the whitelist
+// constraint: a postmaster-whitelisting MTA cannot decide at MAIL
+// time, so it defers to DATA.
+func (m *MTA) effectivePhase() ValidationPhase {
+	p := m.cfg.Profile
+	if p.Phase == AtMail && p.WhitelistPostmaster {
+		return AtData
+	}
+	return p.Phase
+}
+
+func (m *MTA) onRcpt(s *smtp.Session, to string) *smtp.Reply {
+	p := m.cfg.Profile
+	local := strings.ToLower(smtp.LocalOf(to))
+	if local == "postmaster" {
+		if p.RejectPostmaster {
+			return smtp.ReplyNoSuchUser
+		}
+		return nil
+	}
+	if p.AcceptAnyUser {
+		return nil
+	}
+	for _, u := range p.ValidUsers {
+		if strings.EqualFold(u, local) {
+			return nil
+		}
+	}
+	return smtp.ReplyNoSuchUser
+}
+
+func (m *MTA) onData(s *smtp.Session) *smtp.Reply {
+	p := m.cfg.Profile
+	if !p.ValidatesSPF || m.effectivePhase() != AtData {
+		return nil
+	}
+	if m.whitelisted(s) {
+		return nil
+	}
+	outcome := m.runSPF(s, s.MailFrom)
+	if outcome != nil && p.EnforceSPF && outcome.Result == spf.Fail {
+		m.bump(func(st *Stats) { st.MessagesRejected++ })
+		return &smtp.Reply{Code: 550, Text: "5.7.1 SPF validation failed"}
+	}
+	return nil
+}
+
+// whitelisted reports whether sender validation is skipped because
+// every accepted recipient is postmaster.
+func (m *MTA) whitelisted(s *smtp.Session) bool {
+	if !m.cfg.Profile.WhitelistPostmaster || len(s.RcptTo) == 0 {
+		return false
+	}
+	for _, rcpt := range s.RcptTo {
+		if !strings.EqualFold(smtp.LocalOf(rcpt), "postmaster") {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *MTA) onMessage(s *smtp.Session, msg []byte) *smtp.Reply {
+	p := m.cfg.Profile
+	clientIP, mailFrom, helo := s.ClientIP, s.MailFrom, s.Helo
+	whitelisted := m.whitelisted(s)
+
+	if p.ValidatesSPF && m.effectivePhase() == PostData && !whitelisted {
+		// Validation after delivery: runs in the background, after the
+		// 250 reply — invisible to probes, visible (late) to the
+		// NotifyEmail experiment (Figure 2's positive tail).
+		m.async.Add(1)
+		go func() {
+			defer m.async.Done()
+			if m.cfg.PostDataDelay > 0 {
+				time.Sleep(m.cfg.PostDataDelay)
+			}
+			sess := &smtp.Session{ClientIP: clientIP, MailFrom: mailFrom, Helo: helo}
+			m.runSPF(sess, mailFrom)
+		}()
+	}
+
+	var spfResult spf.Result = spf.None
+	spfDomain := smtp.DomainOf(mailFrom)
+	if v, ok := s.Meta["spf"].(spf.Result); ok {
+		spfResult = v
+	}
+
+	results := &authres.Header{AuthServID: m.cfg.Hostname}
+	if p.ValidatesSPF {
+		results.Results = append(results.Results,
+			authres.SPF(string(spfResult), mailFrom))
+	}
+
+	var dkimResult dkim.Result = dkim.ResultNone
+	dkimDomain := ""
+	if p.ValidatesDKIM {
+		m.bump(func(st *Stats) { st.DKIMChecks++ })
+		verifier := &dkim.Verifier{Resolver: m.resolver}
+		v := verifier.Verify(context.Background(), msg)
+		dkimResult, dkimDomain = v.Result, v.Domain
+		results.Results = append(results.Results,
+			authres.DKIM(string(dkimResult), dkimDomain))
+	}
+
+	if p.ValidatesDMARC {
+		m.bump(func(st *Stats) { st.DMARCChecks++ })
+		parsed, err := dkim.ParseMessage(msg)
+		fromDomain := spfDomain
+		if err == nil {
+			if d := dkim.AddressDomain(parsed.Get("From")); d != "" {
+				fromDomain = d
+			}
+		}
+		eval := (&dmarc.Evaluator{Resolver: m.resolver}).Evaluate(context.Background(), dmarc.Inputs{
+			FromDomain: fromDomain,
+			SPFResult:  spfResult, SPFDomain: spfDomain,
+			DKIMResult: dkimResult, DKIMDomain: dkimDomain,
+		})
+		m.recordDMARC(fromDomain, dmarc.Observation{
+			SourceIP:     s.ClientIP,
+			HeaderFrom:   fromDomain,
+			EnvelopeFrom: mailFrom,
+			Evaluation:   eval,
+			SPFResult:    string(spfResult), SPFDomain: spfDomain,
+			DKIMResult: string(dkimResult), DKIMDomain: dkimDomain,
+		})
+		results.Results = append(results.Results,
+			authres.DMARC(string(eval.Result), fromDomain))
+		if p.EnforceDMARC && eval.Result == dmarc.ResultFail && eval.Disposition == dmarc.Reject {
+			m.stampAuthResults(s, results)
+			m.bump(func(st *Stats) { st.MessagesRejected++ })
+			return &smtp.Reply{Code: 550, Text: "5.7.1 rejected by DMARC policy of " + fromDomain}
+		}
+	}
+
+	m.stampAuthResults(s, results)
+	m.bump(func(st *Stats) { st.MessagesAccepted++ })
+	return nil
+}
+
+// stampAuthResults records the RFC 8601 Authentication-Results value
+// the MTA would prepend to the delivered message.
+func (m *MTA) stampAuthResults(s *smtp.Session, h *authres.Header) {
+	value := authres.Format(h)
+	if s.Meta != nil {
+		s.Meta["authentication-results"] = value
+	}
+	m.mu.Lock()
+	m.lastAuthRes = value
+	m.mu.Unlock()
+}
+
+// AuthResults returns the Authentication-Results value of the most
+// recently processed message, or "" before any delivery.
+func (m *MTA) AuthResults() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastAuthRes
+}
+
+// runSPF performs the SPF check for the session — the HELO identity
+// first when the profile checks it, then the MAIL identity (or the
+// partial fetch-only variant) — and records the result.
+func (m *MTA) runSPF(s *smtp.Session, from string) *spf.Outcome {
+	domain := smtp.DomainOf(from)
+	if domain == "" {
+		domain = s.Helo
+	}
+	m.bump(func(st *Stats) { st.SPFChecks++ })
+	ctx := context.Background()
+	if m.cfg.Profile.PartialSPF {
+		// Fetch the policy but never evaluate it — no follow-up
+		// queries (§6.1's 690 partial validators).
+		_, _ = m.resolver.LookupTXT(ctx, domain)
+		return nil
+	}
+	if m.cfg.Profile.ChecksHELO && s.Helo != "" {
+		m.bump(func(st *Stats) { st.HELOChecks++ })
+		// Per the paper (§7.3), the HELO outcome is effectively
+		// ignored: evaluation proceeds to the MAIL identity always.
+		_ = m.checker.CheckHost(ctx, s.ClientIP, s.Helo, "postmaster@"+s.Helo, s.Helo)
+	}
+	out := m.checker.CheckHost(ctx, s.ClientIP, domain, from, s.Helo)
+	if s.Meta != nil {
+		s.Meta["spf"] = out.Result
+	}
+	return out
+}
+
+// recordDMARC feeds the evaluation into the per-policy-domain
+// aggregate-report accumulator (RFC 7489 §7.2) — the feedback channel
+// through which DMARC-validating receivers report back to domain
+// owners, and one of the study's attribution channels (§5.3).
+func (m *MTA) recordDMARC(policyDomain string, obs dmarc.Observation) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.accumulators == nil {
+		m.accumulators = make(map[string]*dmarc.Accumulator)
+	}
+	acc := m.accumulators[policyDomain]
+	if acc == nil {
+		acc = &dmarc.Accumulator{
+			OrgName: m.cfg.Hostname,
+			Email:   "dmarc-reports@" + m.cfg.Hostname,
+			Domain:  policyDomain,
+		}
+		m.accumulators[policyDomain] = acc
+	}
+	acc.Add(time.Now(), obs)
+}
+
+// AggregateReports drains the MTA's DMARC accumulators into feedback
+// reports, one per policy domain with observations.
+func (m *MTA) AggregateReports() []*dmarc.Feedback {
+	m.mu.Lock()
+	accs := make([]*dmarc.Accumulator, 0, len(m.accumulators))
+	for _, acc := range m.accumulators {
+		accs = append(accs, acc)
+	}
+	m.mu.Unlock()
+	var out []*dmarc.Feedback
+	for i, acc := range accs {
+		if f := acc.Report(fmt.Sprintf("%s-%d", m.cfg.ID, i+1)); f != nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}

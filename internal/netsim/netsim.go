@@ -1,0 +1,379 @@
+// Package netsim provides an in-process network fabric for large-scale
+// protocol simulation. Simulated hosts listen on arbitrary synthetic
+// IPv4/IPv6 addresses (the public addresses a measurement dataset
+// assigns to MTAs), and dialers connect to them without consuming real
+// sockets. Connections are buffered duplex pipes whose LocalAddr and
+// RemoteAddr report the synthetic addresses, so address-sensitive
+// protocol logic — SPF validation of the connecting client's IP, AS
+// attribution — behaves exactly as it would over a real network.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Errors returned by the fabric.
+var (
+	ErrAddrInUse        = errors.New("netsim: address already in use")
+	ErrConnRefused      = errors.New("netsim: connection refused")
+	ErrListenerClosed   = errors.New("netsim: listener closed")
+	ErrDeadlineExceeded = errors.New("netsim: i/o deadline exceeded")
+)
+
+// Fabric routes connections between simulated addresses.
+type Fabric struct {
+	mu        sync.Mutex
+	listeners map[netip.AddrPort]*Listener
+	nextEphem uint16
+	// Unreachable marks addresses that refuse all connections,
+	// simulating filtered or offline hosts.
+	unreachable map[netip.Addr]bool
+	// latency is the one-way delivery delay applied to connection
+	// establishment (not per-byte).
+	latency time.Duration
+}
+
+// NewFabric creates an empty fabric.
+func NewFabric() *Fabric {
+	return &Fabric{
+		listeners:   make(map[netip.AddrPort]*Listener),
+		unreachable: make(map[netip.Addr]bool),
+		nextEphem:   32768,
+	}
+}
+
+// SetLatency sets a fixed connection-establishment delay.
+func (f *Fabric) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
+}
+
+// SetUnreachable marks or clears an address as refusing connections.
+func (f *Fabric) SetUnreachable(addr netip.Addr, unreachable bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if unreachable {
+		f.unreachable[addr] = true
+	} else {
+		delete(f.unreachable, addr)
+	}
+}
+
+// Listen registers a listener on addr.
+func (f *Fabric) Listen(addr netip.AddrPort) (*Listener, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, taken := f.listeners[addr]; taken {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	l := &Listener{
+		fabric:  f,
+		addr:    addr,
+		backlog: make(chan net.Conn, 128),
+		closed:  make(chan struct{}),
+	}
+	f.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects from the given local address to remote. A zero local
+// port is replaced with an ephemeral one.
+func (f *Fabric) Dial(ctx context.Context, local, remote netip.AddrPort) (net.Conn, error) {
+	f.mu.Lock()
+	if local.Port() == 0 {
+		f.nextEphem++
+		if f.nextEphem == 0 {
+			f.nextEphem = 32768
+		}
+		local = netip.AddrPortFrom(local.Addr(), f.nextEphem)
+	}
+	l, ok := f.listeners[remote]
+	refused := f.unreachable[remote.Addr()]
+	latency := f.latency
+	f.mu.Unlock()
+
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if refused || !ok {
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, remote)
+	}
+
+	clientEnd, serverEnd := newPipePair(local, remote)
+	select {
+	case l.backlog <- serverEnd:
+		return clientEnd, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, remote)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// DialContext implements the dns.Dialer / generic dialer shape:
+// network is ignored (everything is a reliable duplex pipe), and the
+// local address is a synthetic client endpoint.
+func (f *Fabric) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	remote, err := netip.ParseAddrPort(address)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: bad address %q: %w", address, err)
+	}
+	local := netip.AddrPortFrom(netip.MustParseAddr("198.18.0.1"), 0)
+	if remote.Addr().Is6() {
+		local = netip.AddrPortFrom(netip.MustParseAddr("2001:db8:ffff::1"), 0)
+	}
+	return f.Dial(ctx, local, remote)
+}
+
+// BoundDialer returns a Dialer whose connections originate from the
+// given source addresses (IPv4 and IPv6 selected by the remote's
+// family). Protocols that authenticate the client address — SPF above
+// all — see the bound address as the connecting IP.
+func (f *Fabric) BoundDialer(local4, local6 netip.Addr) *BoundDialer {
+	return &BoundDialer{fabric: f, local4: local4, local6: local6}
+}
+
+// BoundDialer dials through a Fabric from fixed source addresses.
+type BoundDialer struct {
+	fabric *Fabric
+	local4 netip.Addr
+	local6 netip.Addr
+}
+
+// DialContext implements the generic dialer shape over the fabric.
+func (d *BoundDialer) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	remote, err := netip.ParseAddrPort(address)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: bad address %q: %w", address, err)
+	}
+	local := d.local4
+	if remote.Addr().Is6() {
+		local = d.local6
+	}
+	if !local.IsValid() {
+		return nil, fmt.Errorf("%w: no local %s address bound", ErrConnRefused, address)
+	}
+	return d.fabric.Dial(ctx, netip.AddrPortFrom(local, 0), remote)
+}
+
+// Listener accepts fabric connections for one address.
+type Listener struct {
+	fabric  *Fabric
+	addr    netip.AddrPort
+	backlog chan net.Conn
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrListenerClosed
+	}
+}
+
+// Close deregisters the listener.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.fabric.mu.Lock()
+		delete(l.fabric.listeners, l.addr)
+		l.fabric.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the simulated listen address.
+func (l *Listener) Addr() net.Addr {
+	return simAddr(l.addr)
+}
+
+// simAddr renders a simulated address as a net.Addr.
+type simAddr netip.AddrPort
+
+func (a simAddr) Network() string { return "sim" }
+func (a simAddr) String() string  { return netip.AddrPort(a).String() }
+
+// AddrPortOf extracts the netip.AddrPort from a fabric net.Addr,
+// falling back to parsing its string form.
+func AddrPortOf(a net.Addr) (netip.AddrPort, bool) {
+	if sa, ok := a.(simAddr); ok {
+		return netip.AddrPort(sa), true
+	}
+	ap, err := netip.ParseAddrPort(a.String())
+	return ap, err == nil
+}
+
+// newPipePair creates the two ends of a buffered duplex connection.
+func newPipePair(client, server netip.AddrPort) (net.Conn, net.Conn) {
+	c2s := newHalf()
+	s2c := newHalf()
+	clientEnd := &pipeConn{rd: s2c, wr: c2s, local: client, remote: server}
+	serverEnd := &pipeConn{rd: c2s, wr: s2c, local: server, remote: client}
+	return clientEnd, serverEnd
+}
+
+// half is one direction of a pipe: a bounded queue of byte chunks.
+type half struct {
+	ch     chan []byte
+	closed chan struct{}
+	once   sync.Once
+
+	mu  sync.Mutex
+	rem []byte // partially consumed chunk
+}
+
+func newHalf() *half {
+	return &half{ch: make(chan []byte, 256), closed: make(chan struct{})}
+}
+
+func (h *half) close() {
+	h.once.Do(func() { close(h.closed) })
+}
+
+// pipeConn is one endpoint of a fabric connection.
+type pipeConn struct {
+	rd, wr *half
+	local  netip.AddrPort
+	remote netip.AddrPort
+
+	dlMu sync.Mutex
+	rdDL time.Time
+	wrDL time.Time
+}
+
+func (c *pipeConn) Read(p []byte) (int, error) {
+	c.rd.mu.Lock()
+	if len(c.rd.rem) > 0 {
+		n := copy(p, c.rd.rem)
+		c.rd.rem = c.rd.rem[n:]
+		c.rd.mu.Unlock()
+		return n, nil
+	}
+	c.rd.mu.Unlock()
+
+	timeout, hasDL := c.timeoutChan(true)
+	if hasDL && timeout == nil {
+		return 0, ErrDeadlineExceeded
+	}
+	select {
+	case chunk, ok := <-c.rd.ch:
+		if !ok {
+			return 0, io.EOF
+		}
+		n := copy(p, chunk)
+		if n < len(chunk) {
+			c.rd.mu.Lock()
+			c.rd.rem = chunk[n:]
+			c.rd.mu.Unlock()
+		}
+		return n, nil
+	case <-c.rd.closed:
+		// Drain anything enqueued before close.
+		select {
+		case chunk, ok := <-c.rd.ch:
+			if ok && len(chunk) > 0 {
+				n := copy(p, chunk)
+				if n < len(chunk) {
+					c.rd.mu.Lock()
+					c.rd.rem = chunk[n:]
+					c.rd.mu.Unlock()
+				}
+				return n, nil
+			}
+		default:
+		}
+		return 0, io.EOF
+	case <-timeout:
+		return 0, ErrDeadlineExceeded
+	}
+}
+
+func (c *pipeConn) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	timeout, hasDL := c.timeoutChan(false)
+	if hasDL && timeout == nil {
+		return 0, ErrDeadlineExceeded
+	}
+	chunk := append([]byte(nil), p...)
+	select {
+	case <-c.wr.closed:
+		return 0, io.ErrClosedPipe
+	default:
+	}
+	select {
+	case c.wr.ch <- chunk:
+		return len(p), nil
+	case <-c.wr.closed:
+		return 0, io.ErrClosedPipe
+	case <-timeout:
+		return 0, ErrDeadlineExceeded
+	}
+}
+
+// timeoutChan returns a channel that fires at the configured deadline.
+// A nil channel with hasDL=true means the deadline already passed; a
+// nil channel with hasDL=false never fires (blocks forever in select).
+func (c *pipeConn) timeoutChan(read bool) (<-chan time.Time, bool) {
+	c.dlMu.Lock()
+	dl := c.wrDL
+	if read {
+		dl = c.rdDL
+	}
+	c.dlMu.Unlock()
+	if dl.IsZero() {
+		return nil, false
+	}
+	d := time.Until(dl)
+	if d <= 0 {
+		return nil, true
+	}
+	return time.After(d), true
+}
+
+func (c *pipeConn) Close() error {
+	c.wr.close()
+	c.rd.close()
+	return nil
+}
+
+func (c *pipeConn) LocalAddr() net.Addr  { return simAddr(c.local) }
+func (c *pipeConn) RemoteAddr() net.Addr { return simAddr(c.remote) }
+
+func (c *pipeConn) SetDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	c.rdDL, c.wrDL = t, t
+	return nil
+}
+
+func (c *pipeConn) SetReadDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	c.rdDL = t
+	return nil
+}
+
+func (c *pipeConn) SetWriteDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	c.wrDL = t
+	return nil
+}

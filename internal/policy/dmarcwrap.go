@@ -1,0 +1,39 @@
+package policy
+
+import (
+	"sendervalid/internal/dns"
+	"sendervalid/internal/dnsserver"
+)
+
+// WithDMARC wraps a test-policy responder so that every From domain it
+// serves also publishes a strict reject DMARC policy at
+// _dmarc.<domain>, as the study did for all three experiments
+// (paper §4.3: "A strict reject policy was published for every domain
+// from which experimental email was issued"). The contact mailbox is
+// published in the rua= tag for attribution (§5.3).
+func WithDMARC(inner dnsserver.Responder, contact string, ttl uint32) dnsserver.Responder {
+	if ttl == 0 {
+		ttl = 60
+	}
+	record := "v=DMARC1; p=reject"
+	if contact != "" {
+		record += "; rua=mailto:" + contact
+	}
+	return dnsserver.ResponderFunc(func(q *dnsserver.Query) dnsserver.Response {
+		if len(q.Rest) == 1 && q.Rest[0] == "_dmarc" && q.Type == dns.TypeTXT {
+			return dnsserver.Response{Records: []dns.RR{
+				dnsserver.TXTRecord(q.Name, record, ttl)}}
+		}
+		return inner.Respond(q)
+	})
+}
+
+// RespondersWithDMARC builds the catalog registry with every responder
+// wrapped by WithDMARC.
+func RespondersWithDMARC(env *Env, contact string) map[string]dnsserver.Responder {
+	out := make(map[string]dnsserver.Responder)
+	for _, t := range Catalog() {
+		out[t.ID] = WithDMARC(t.Build(env), contact, env.ttl())
+	}
+	return out
+}

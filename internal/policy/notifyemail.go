@@ -1,0 +1,124 @@
+package policy
+
+import (
+	"net/netip"
+	"time"
+
+	"sendervalid/internal/dns"
+	"sendervalid/internal/dnsserver"
+)
+
+// NotifyEmailConfig describes the DNS view published for NotifyEmail
+// From domains (paper §4.3.1). Every domain <domainid>.<suffix> gets:
+//
+//   - an SPF policy that authenticates the real sending MTA through an
+//     "a" mechanism, preceded by a 3-level include chain with 100 ms
+//     response shaping — the serial-vs-parallel elicitation (§7.1);
+//   - A/AAAA records for the "a" target resolving to the sender;
+//   - a DKIM public key at <selector>._domainkey.<domainid>.<suffix>;
+//   - a strict-reject DMARC policy at _dmarc.<domainid>.<suffix> that
+//     also publishes the experiment's contact address (§5.3).
+type NotifyEmailConfig struct {
+	// Suffix is the zone apex, e.g. "dsav-mail.dns-lab.example.".
+	Suffix string
+	// SenderV4 and SenderV6 are the legitimate sending MTA's addresses
+	// (at least one must be valid).
+	SenderV4 netip.Addr
+	SenderV6 netip.Addr
+	// DKIMSelector and DKIMKeyRecord publish the signing key.
+	DKIMSelector  string
+	DKIMKeyRecord string
+	// Contact is the mailbox published in rua= for attribution.
+	Contact string
+	// TimeScale scales the 100 ms include-chain shaping.
+	TimeScale float64
+	// TTL for synthesized records.
+	TTL uint32
+}
+
+func (cfg *NotifyEmailConfig) scale(d time.Duration) time.Duration {
+	if cfg.TimeScale == 0 {
+		return d
+	}
+	return time.Duration(float64(d) * cfg.TimeScale)
+}
+
+func (cfg *NotifyEmailConfig) ttl() uint32 {
+	if cfg.TTL == 0 {
+		return 300
+	}
+	return cfg.TTL
+}
+
+// SPFPolicy returns the SPF record text for a NotifyEmail domain.
+func (cfg *NotifyEmailConfig) SPFPolicy(q *dnsserver.Query) string {
+	return "v=spf1 include:" + dnsserver.Rejoin(q, cfg.Suffix, "l1") +
+		" a:" + dnsserver.Rejoin(q, cfg.Suffix, "mta") + " -all"
+}
+
+// DMARCPolicy returns the DMARC record text for NotifyEmail domains.
+func (cfg *NotifyEmailConfig) DMARCPolicy() string {
+	rec := "v=DMARC1; p=reject"
+	if cfg.Contact != "" {
+		rec += "; rua=mailto:" + cfg.Contact
+	}
+	return rec
+}
+
+// Responder synthesizes the NotifyEmail DNS view. Use it as the
+// Default responder of a LabelDepth-1 zone.
+func (cfg *NotifyEmailConfig) Responder() dnsserver.Responder {
+	return dnsserver.ResponderFunc(func(q *dnsserver.Query) dnsserver.Response {
+		switch {
+		case len(q.Rest) == 0 && q.Type == dns.TypeTXT:
+			return dnsserver.Response{Records: []dns.RR{
+				dnsserver.TXTRecord(q.Name, cfg.SPFPolicy(q), cfg.ttl()),
+			}}
+
+		case len(q.Rest) == 1 && q.Rest[0] == "l1" && q.Type == dns.TypeTXT:
+			r := dnsserver.Response{Records: []dns.RR{dnsserver.TXTRecord(q.Name,
+				"v=spf1 include:"+dnsserver.Rejoin(q, cfg.Suffix, "l2")+" ?all", cfg.ttl())}}
+			r.Delay = cfg.scale(100 * time.Millisecond)
+			return r
+		case len(q.Rest) == 1 && q.Rest[0] == "l2" && q.Type == dns.TypeTXT:
+			r := dnsserver.Response{Records: []dns.RR{dnsserver.TXTRecord(q.Name,
+				"v=spf1 include:"+dnsserver.Rejoin(q, cfg.Suffix, "l3")+" ?all", cfg.ttl())}}
+			r.Delay = cfg.scale(100 * time.Millisecond)
+			return r
+		case len(q.Rest) == 1 && q.Rest[0] == "l3" && q.Type == dns.TypeTXT:
+			return dnsserver.Response{Records: []dns.RR{
+				dnsserver.TXTRecord(q.Name, "v=spf1 ?all", cfg.ttl())}}
+
+		case len(q.Rest) == 1 && q.Rest[0] == "mta":
+			switch q.Type {
+			case dns.TypeA:
+				if !cfg.SenderV4.IsValid() {
+					return dnsserver.Response{}
+				}
+				return dnsserver.Response{Records: []dns.RR{{
+					Name: q.Name, Type: dns.TypeA, Class: dns.ClassINET, TTL: cfg.ttl(),
+					Data: &dns.A{Addr: cfg.SenderV4},
+				}}}
+			case dns.TypeAAAA:
+				if !cfg.SenderV6.IsValid() {
+					return dnsserver.Response{}
+				}
+				return dnsserver.Response{Records: []dns.RR{{
+					Name: q.Name, Type: dns.TypeAAAA, Class: dns.ClassINET, TTL: cfg.ttl(),
+					Data: &dns.AAAA{Addr: cfg.SenderV6},
+				}}}
+			}
+
+		case len(q.Rest) == 1 && q.Rest[0] == "_dmarc" && q.Type == dns.TypeTXT:
+			return dnsserver.Response{Records: []dns.RR{
+				dnsserver.TXTRecord(q.Name, cfg.DMARCPolicy(), cfg.ttl())}}
+
+		case len(q.Rest) == 2 && q.Rest[1] == "_domainkey" && q.Type == dns.TypeTXT:
+			if cfg.DKIMSelector != "" && q.Rest[0] == cfg.DKIMSelector && cfg.DKIMKeyRecord != "" {
+				return dnsserver.Response{Records: []dns.RR{
+					dnsserver.TXTRecord(q.Name, cfg.DKIMKeyRecord, cfg.ttl())}}
+			}
+		}
+		return dnsserver.Response{}
+	})
+}

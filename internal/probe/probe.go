@@ -1,0 +1,215 @@
+// Package probe implements the study's two sending-side tools: the
+// custom SMTP probing client used against NotifyMX and TwoWeekMX
+// targets (paper §4.6) — EHLO, MAIL, RCPT, DATA with configurable
+// inter-command sleeps, a unique From address per (MTA, test policy),
+// a recipient-guessing ladder, and a disconnect before any message
+// content — and the NotifyEmail sending MTA, which delivers a real,
+// DKIM-signed message to the first responsive MX of each recipient
+// domain (the study used Exim4 for this role).
+package probe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"sendervalid/internal/smtp"
+)
+
+// DefaultRecipients is the paper's username ladder (§4.4): common
+// names first, postmaster as the fallback expected to exist anywhere.
+var DefaultRecipients = []string{"michael", "john.smith", "support", "postmaster"}
+
+// Client runs test-policy probes.
+type Client struct {
+	// Dialer carries the SMTP connections (a *netsim.Fabric or a
+	// netsim.BoundDialer pinning the client's source address).
+	Dialer smtp.Dialer
+	// Suffix is the From-domain zone, e.g. "spf-test.dns-lab.example".
+	Suffix string
+	// HeloDomain is sent in EHLO/HELO. For the HELO test policy the
+	// client substitutes helo.<testid>.<mtaid>.<suffix>.
+	HeloDomain string
+	// RecipientDomain is the domain part of guessed To addresses.
+	RecipientDomain string
+	// Recipients overrides the username ladder.
+	Recipients []string
+	// Sleep is inserted before MAIL, RCPT, and DATA (the paper used
+	// 15 s; simulations use 0).
+	Sleep time.Duration
+	// Timeout bounds each SMTP exchange.
+	Timeout time.Duration
+	// HeloTestID is the test whose probe uses an instrumented HELO
+	// name ("t03" in the catalog). Empty disables the substitution.
+	HeloTestID string
+}
+
+// Stage identifies where in the SMTP dialogue a probe ended.
+type Stage string
+
+// Probe stages.
+const (
+	StageConnect Stage = "connect"
+	StageHelo    Stage = "helo"
+	StageMail    Stage = "mail"
+	StageRcpt    Stage = "rcpt"
+	StageData    Stage = "data"
+	StageDone    Stage = "done"
+)
+
+// Result records one probe.
+type Result struct {
+	MTAID  string
+	TestID string
+	// Stage is how far the dialogue got (StageDone = DATA reply
+	// received and connection dropped).
+	Stage Stage
+	// Recipient is the accepted To address, if any.
+	Recipient string
+	// ReplyCode and ReplyText describe the terminal reply (the DATA
+	// reply on success, the rejection otherwise).
+	ReplyCode int
+	ReplyText string
+	// Err is the transport or SMTP error that ended the probe early.
+	Err error
+}
+
+// Rejected reports whether the probe was refused before DATA.
+func (r *Result) Rejected() bool { return r.Stage != StageDone }
+
+// MentionsSpam reports whether the rejection text cites spam.
+func (r *Result) MentionsSpam() bool {
+	return strings.Contains(strings.ToLower(r.ReplyText), "spam")
+}
+
+// MentionsBlacklist reports whether the rejection text cites a
+// blacklist.
+func (r *Result) MentionsBlacklist() bool {
+	return strings.Contains(strings.ToLower(r.ReplyText), "blacklist")
+}
+
+// FromAddress builds the per-(test, MTA) envelope sender (§4.4).
+func (c *Client) FromAddress(testID, mtaID string) string {
+	return fmt.Sprintf("spf-test@%s.%s.%s", testID, mtaID, strings.TrimSuffix(c.Suffix, "."))
+}
+
+// recipients returns the username ladder.
+func (c *Client) recipients() []string {
+	if len(c.Recipients) > 0 {
+		return c.Recipients
+	}
+	return DefaultRecipients
+}
+
+func (c *Client) sleep(ctx context.Context) error {
+	if c.Sleep <= 0 {
+		return nil
+	}
+	select {
+	case <-time.After(c.Sleep):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Probe runs one test policy against the MTA at addr.
+func (c *Client) Probe(ctx context.Context, addr netip.Addr, mtaID, testID string) *Result {
+	res := &Result{MTAID: mtaID, TestID: testID, Stage: StageConnect}
+	target := netip.AddrPortFrom(addr, 25).String()
+
+	cl, err := smtp.Dial(ctx, c.Dialer, target)
+	if err != nil {
+		res.Err = err
+		var smtpErr *smtp.Error
+		if errors.As(err, &smtpErr) {
+			res.ReplyCode, res.ReplyText = smtpErr.Code, smtpErr.Message
+		}
+		return res
+	}
+	defer cl.Abort()
+	if c.Timeout > 0 {
+		cl.Timeout = c.Timeout
+	}
+
+	helo := c.HeloDomain
+	if c.HeloTestID != "" && testID == c.HeloTestID {
+		helo = fmt.Sprintf("helo.%s.%s.%s", testID, mtaID, strings.TrimSuffix(c.Suffix, "."))
+	}
+	res.Stage = StageHelo
+	if err := cl.Hello(helo); err != nil {
+		res.Err = err
+		fillReply(res, err)
+		return res
+	}
+
+	if err := c.sleep(ctx); err != nil {
+		res.Err = err
+		return res
+	}
+	res.Stage = StageMail
+	if err := cl.Mail(c.FromAddress(testID, mtaID)); err != nil {
+		res.Err = err
+		fillReply(res, err)
+		return res
+	}
+
+	if err := c.sleep(ctx); err != nil {
+		res.Err = err
+		return res
+	}
+	res.Stage = StageRcpt
+	var rcptErr error
+	for _, user := range c.recipients() {
+		to := user + "@" + c.RecipientDomain
+		if rcptErr = cl.Rcpt(to); rcptErr == nil {
+			res.Recipient = to
+			break
+		}
+	}
+	if rcptErr != nil {
+		res.Err = rcptErr
+		fillReply(res, rcptErr)
+		return res
+	}
+
+	if err := c.sleep(ctx); err != nil {
+		res.Err = err
+		return res
+	}
+	res.Stage = StageData
+	code, text, err := cl.DataCommand()
+	if err != nil {
+		res.Err = err
+		fillReply(res, err)
+		return res
+	}
+	res.Stage = StageDone
+	res.ReplyCode, res.ReplyText = code, text
+	// Disconnect without sending any content (§4.6): nothing can be
+	// delivered.
+	return res
+}
+
+// ProbeAll runs every test in order against one MTA (the study ran
+// all 39 per MTA, shuffling MTA order across the fleet, §5.2).
+func (c *Client) ProbeAll(ctx context.Context, addr netip.Addr, mtaID string, testIDs []string) []*Result {
+	out := make([]*Result, 0, len(testIDs))
+	for _, testID := range testIDs {
+		if ctx.Err() != nil {
+			break
+		}
+		out = append(out, c.Probe(ctx, addr, mtaID, testID))
+	}
+	return out
+}
+
+func fillReply(res *Result, err error) {
+	var smtpErr *smtp.Error
+	if errors.As(err, &smtpErr) {
+		res.ReplyCode, res.ReplyText = smtpErr.Code, smtpErr.Message
+	}
+}

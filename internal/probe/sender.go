@@ -1,0 +1,195 @@
+package probe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"sendervalid/internal/dkim"
+	"sendervalid/internal/smtp"
+)
+
+// Target is a recipient MTA candidate in MX preference order.
+type Target struct {
+	Addr4 netip.Addr
+	Addr6 netip.Addr
+}
+
+// Sender is the NotifyEmail sending MTA: it delivers a complete,
+// DKIM-signed notification to the first responsive MX of a domain,
+// exactly once per recipient (paper §4.6: "Once an email is delivered
+// for a given domain, using a given MTA, no further MTAs are probed").
+type Sender struct {
+	// Dialer carries the connections (typically a netsim.BoundDialer
+	// pinning the sending MTA's published address, so SPF passes).
+	Dialer smtp.Dialer
+	// Suffix is the From-domain zone, e.g. "dsav-mail.dns-lab.example".
+	Suffix string
+	// HeloDomain announces the sending MTA.
+	HeloDomain string
+	// Signer signs outgoing messages; its Domain field is set per
+	// delivery. nil disables DKIM signing.
+	Signer *dkim.Signer
+	// ReplyTo is included in the message so recipients can respond
+	// despite the unique From domain (paper §5.3).
+	ReplyTo string
+	// Timeout bounds each SMTP exchange.
+	Timeout time.Duration
+	// Retries is how many additional delivery rounds to attempt after
+	// transient (4xx or connection) failures, mirroring a queueing
+	// MTA's behaviour. Zero disables retries.
+	Retries int
+	// RetryDelay separates rounds. Zero means 1 s.
+	RetryDelay time.Duration
+}
+
+// Delivery records one NotifyEmail delivery attempt.
+type Delivery struct {
+	DomainID  string
+	Recipient string
+	// Delivered reports a 250 acceptance of the full message.
+	Delivered bool
+	// MTAAddr is the address that accepted (or last refused).
+	MTAAddr netip.Addr
+	// AcceptedAt is the timestamp of the 250 reply to the message —
+	// the tEmail of Figure 2.
+	AcceptedAt time.Time
+	// Attempts counts delivery rounds (1 = first try succeeded or no
+	// retries configured). The paper filtered a handful of Figure 2
+	// samples caused by an earlier attempt triggering validation and a
+	// later one delivering (§6.2).
+	Attempts int
+	// Err describes the failure when not delivered.
+	Err error
+}
+
+// FromDomain builds the unique per-domain envelope sender domain
+// (§4.4: spf-test@<domainid>.<suffix>).
+func (s *Sender) FromDomain(domainID string) string {
+	return domainID + "." + strings.TrimSuffix(s.Suffix, ".")
+}
+
+// Send delivers the notification body to recipient via the first
+// responsive target.
+func (s *Sender) Send(ctx context.Context, domainID, recipient string, targets []Target, subject, body string) *Delivery {
+	d := &Delivery{DomainID: domainID, Recipient: recipient}
+	fromDomain := s.FromDomain(domainID)
+	from := "spf-test@" + fromDomain
+
+	msg := s.compose(from, recipient, subject, body)
+	if s.Signer != nil {
+		signer := *s.Signer
+		signer.Domain = fromDomain
+		signed, err := signer.Sign(msg)
+		if err != nil {
+			d.Err = fmt.Errorf("probe: signing: %w", err)
+			return d
+		}
+		msg = signed
+	}
+
+	var lastErr error
+	for round := 0; round <= s.Retries; round++ {
+		if round > 0 {
+			delay := s.RetryDelay
+			if delay <= 0 {
+				delay = time.Second
+			}
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				d.Err = ctx.Err()
+				return d
+			}
+		}
+		d.Attempts = round + 1
+		permanent := false
+		for _, target := range targets {
+			for _, addr := range []netip.Addr{target.Addr4, target.Addr6} {
+				if !addr.IsValid() {
+					continue
+				}
+				delivered, err := s.deliverTo(ctx, addr, from, recipient, msg)
+				if delivered {
+					d.Delivered = true
+					d.MTAAddr = addr
+					d.AcceptedAt = time.Now()
+					return d
+				}
+				lastErr = err
+				d.MTAAddr = addr
+				var smtpErr *smtp.Error
+				if errors.As(err, &smtpErr) && smtpErr.Permanent() {
+					permanent = true
+				}
+			}
+		}
+		if permanent {
+			break // a 5xx is final; queueing MTAs bounce, not retry
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("probe: no reachable MTA for %s", recipient)
+	}
+	d.Err = lastErr
+	return d
+}
+
+func (s *Sender) deliverTo(ctx context.Context, addr netip.Addr, from, to string, msg []byte) (bool, error) {
+	cl, err := smtp.Dial(ctx, s.Dialer, netip.AddrPortFrom(addr, 25).String())
+	if err != nil {
+		return false, err
+	}
+	defer cl.Abort()
+	if s.Timeout > 0 {
+		cl.Timeout = s.Timeout
+	}
+	if err := cl.Hello(s.HeloDomain); err != nil {
+		return false, err
+	}
+	if err := cl.Mail(from); err != nil {
+		return false, err
+	}
+	if err := cl.Rcpt(to); err != nil {
+		return false, err
+	}
+	if err := cl.Data(msg); err != nil {
+		return false, err
+	}
+	_ = cl.Quit()
+	return true, nil
+}
+
+// compose builds the notification message. The From header matches
+// the envelope From so DMARC identifier alignment holds (§5.3).
+func (s *Sender) compose(from, to, subject, body string) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "From: Network Measurement Study <%s>\r\n", from)
+	fmt.Fprintf(&sb, "To: <%s>\r\n", to)
+	fmt.Fprintf(&sb, "Subject: %s\r\n", subject)
+	fmt.Fprintf(&sb, "Date: Mon, 05 Oct 2020 10:00:00 +0000\r\n")
+	fmt.Fprintf(&sb, "Message-ID: <%s.%s>\r\n", sanitizeID(to), smtp.DomainOf(from))
+	if s.ReplyTo != "" {
+		fmt.Fprintf(&sb, "Reply-To: <%s>\r\n", s.ReplyTo)
+	}
+	sb.WriteString("\r\n")
+	sb.WriteString(strings.ReplaceAll(body, "\n", "\r\n"))
+	if !strings.HasSuffix(body, "\n") {
+		sb.WriteString("\r\n")
+	}
+	return []byte(sb.String())
+}
+
+func sanitizeID(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}

@@ -1,0 +1,347 @@
+// Package resolver implements the stub DNS resolver used by simulated
+// mail transfer agents. It speaks to a single upstream (recursive or
+// authoritative) server over UDP with automatic TCP retry on
+// truncation, supports IPv4-only, IPv6-only, and dual-stack transport
+// policies, and keeps a positive/negative cache.
+//
+// The resolver satisfies the spf.Resolver contract: lookups that
+// complete with no records (NXDOMAIN or an empty answer) return
+// (nil, nil); transport and server failures return errors.
+package resolver
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"sendervalid/internal/dns"
+	"sendervalid/internal/spf"
+)
+
+// TransportPolicy selects the address families the resolver may use to
+// reach its upstream server.
+type TransportPolicy int
+
+// Transport policies.
+const (
+	// DualStack tries the upstream over whichever family its address
+	// uses; both IPv4 and IPv6 upstreams are usable.
+	DualStack TransportPolicy = iota
+	// IPv4Only refuses IPv6 upstream addresses. Resolvers behind such
+	// a policy cannot retrieve policies served only on IPv6 — the
+	// behaviour the paper's IPv6 test policy detects (§7.3).
+	IPv4Only
+	// IPv6Only refuses IPv4 upstream addresses.
+	IPv6Only
+)
+
+// ServerError reports a non-success RCODE from the upstream server.
+// NXDOMAIN is not a ServerError; it is an empty result.
+type ServerError struct {
+	Name  string
+	RCode dns.RCode
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("resolver: %s for %s", e.RCode, e.Name)
+}
+
+// Config configures a Resolver.
+type Config struct {
+	// Server is the upstream address ("ip:port"). For a dual-homed
+	// upstream, Server6 optionally carries the IPv6 endpoint.
+	Server string
+	// Server6 is the upstream's IPv6 endpoint, used under IPv6Only or
+	// DualStack when set.
+	Server6 string
+	// Transport restricts address families.
+	Transport TransportPolicy
+	// Timeout bounds one exchange. Zero means 5 seconds.
+	Timeout time.Duration
+	// DisableTCP prevents the TCP retry after a truncated UDP
+	// response. The paper found only 2 of 1336 resolvers with this
+	// defect (§7.3).
+	DisableTCP bool
+	// DisableCache turns off response caching.
+	DisableCache bool
+	// MaxCacheEntries bounds the cache. Zero means 4096.
+	MaxCacheEntries int
+	// Dialer, when set, overrides socket creation (used to route
+	// queries through a simulated network fabric).
+	Dialer dns.Dialer
+}
+
+// Resolver is a caching stub resolver bound to one upstream server.
+type Resolver struct {
+	cfg    Config
+	client *dns.Client
+
+	mu    sync.Mutex
+	cache map[cacheKey]cacheEntry
+}
+
+type cacheKey struct {
+	name string
+	typ  dns.Type
+}
+
+type cacheEntry struct {
+	msg     *dns.Message
+	expires time.Time
+}
+
+// New creates a Resolver from cfg.
+func New(cfg Config) *Resolver {
+	if cfg.MaxCacheEntries == 0 {
+		cfg.MaxCacheEntries = 4096
+	}
+	return &Resolver{
+		cfg: cfg,
+		client: &dns.Client{
+			Timeout:            cfg.Timeout,
+			Dialer:             cfg.Dialer,
+			DisableTCPFallback: cfg.DisableTCP,
+		},
+		cache: make(map[cacheKey]cacheEntry),
+	}
+}
+
+// server picks the upstream endpoint honouring the transport policy.
+func (r *Resolver) server() (string, error) {
+	v4, v6 := r.cfg.Server, r.cfg.Server6
+	if v4 != "" && isV6HostPort(v4) {
+		v4, v6 = "", v4
+	}
+	switch r.cfg.Transport {
+	case IPv4Only:
+		if v4 == "" {
+			return "", fmt.Errorf("resolver: upstream reachable only over IPv6 under IPv4-only policy")
+		}
+		return v4, nil
+	case IPv6Only:
+		if v6 == "" {
+			return "", fmt.Errorf("resolver: upstream reachable only over IPv4 under IPv6-only policy")
+		}
+		return v6, nil
+	default:
+		if v4 != "" {
+			return v4, nil
+		}
+		if v6 != "" {
+			return v6, nil
+		}
+		return "", fmt.Errorf("resolver: no upstream server configured")
+	}
+}
+
+// isV6HostPort reports whether hostport has a bracketed IPv6 host.
+func isV6HostPort(hostport string) bool {
+	return strings.HasPrefix(hostport, "[")
+}
+
+// Exchange resolves (name, t) against the upstream, consulting the
+// cache first.
+func (r *Resolver) Exchange(ctx context.Context, name string, t dns.Type) (*dns.Message, error) {
+	name = dns.CanonicalName(name)
+	key := cacheKey{name: name, typ: t}
+	if !r.cfg.DisableCache {
+		if msg, ok := r.cacheGet(key); ok {
+			return msg, nil
+		}
+	}
+	server, err := r.server()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Query(ctx, server, name, t)
+	if err != nil {
+		return nil, err
+	}
+	if resp.RCode == dns.RCodeRefused && r.cfg.Server6 != "" &&
+		server != r.cfg.Server6 && r.cfg.Transport != IPv4Only {
+		// The name may be served only on the upstream's IPv6 endpoint
+		// (the paper's IPv6 test policy publishes AAAA-only name
+		// servers). A v6-capable resolver retries there; an IPv4-only
+		// resolver cannot and fails.
+		resp, err = r.client.Query(ctx, r.cfg.Server6, name, t)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch resp.RCode {
+	case dns.RCodeSuccess, dns.RCodeNameError:
+	default:
+		return nil, &ServerError{Name: name, RCode: resp.RCode}
+	}
+	if !r.cfg.DisableCache {
+		r.cachePut(key, resp)
+	}
+	return resp, nil
+}
+
+func (r *Resolver) cacheGet(key cacheKey) (*dns.Message, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.cache[key]
+	if !ok || time.Now().After(e.expires) {
+		delete(r.cache, key)
+		return nil, false
+	}
+	return e.msg, true
+}
+
+func (r *Resolver) cachePut(key cacheKey, msg *dns.Message) {
+	ttl := minTTL(msg)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.cache) >= r.cfg.MaxCacheEntries {
+		// Simple pressure relief: drop everything. The workloads this
+		// resolver serves (one SPF evaluation per message) re-warm the
+		// cache within a handful of queries.
+		r.cache = make(map[cacheKey]cacheEntry)
+	}
+	r.cache[key] = cacheEntry{msg: msg, expires: time.Now().Add(ttl)}
+}
+
+// CacheLen returns the number of cached responses.
+func (r *Resolver) CacheLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}
+
+// FlushCache drops all cached responses.
+func (r *Resolver) FlushCache() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache = make(map[cacheKey]cacheEntry)
+}
+
+// minTTL returns the smallest answer TTL, clamped to [1s, 1h]; empty
+// (negative) answers are cached briefly.
+func minTTL(msg *dns.Message) time.Duration {
+	if len(msg.Answers) == 0 {
+		return 30 * time.Second
+	}
+	min := uint32(3600)
+	for _, rr := range msg.Answers {
+		if rr.TTL < min {
+			min = rr.TTL
+		}
+	}
+	if min == 0 {
+		min = 1
+	}
+	return time.Duration(min) * time.Second
+}
+
+// answers returns the answer records of the given type whose owner
+// matches name, following CNAME chains within the response.
+func answers(msg *dns.Message, name string, t dns.Type) []dns.RR {
+	name = dns.CanonicalName(name)
+	// Follow in-response CNAMEs (bounded by the answer count).
+	for range msg.Answers {
+		redirected := false
+		for _, rr := range msg.Answers {
+			if rr.Type == dns.TypeCNAME && dns.EqualNames(rr.Name, name) {
+				name = dns.CanonicalName(rr.Data.(*dns.CNAME).Target)
+				redirected = true
+				break
+			}
+		}
+		if !redirected {
+			break
+		}
+	}
+	var out []dns.RR
+	for _, rr := range msg.Answers {
+		if rr.Type == t && dns.EqualNames(rr.Name, name) {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// LookupTXT implements spf.Resolver.
+func (r *Resolver) LookupTXT(ctx context.Context, name string) ([]string, error) {
+	msg, err := r.Exchange(ctx, name, dns.TypeTXT)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rr := range answers(msg, name, dns.TypeTXT) {
+		out = append(out, rr.Data.(*dns.TXT).Joined())
+	}
+	return out, nil
+}
+
+// LookupA implements spf.Resolver.
+func (r *Resolver) LookupA(ctx context.Context, name string) ([]netip.Addr, error) {
+	msg, err := r.Exchange(ctx, name, dns.TypeA)
+	if err != nil {
+		return nil, err
+	}
+	var out []netip.Addr
+	for _, rr := range answers(msg, name, dns.TypeA) {
+		out = append(out, rr.Data.(*dns.A).Addr)
+	}
+	return out, nil
+}
+
+// LookupAAAA implements spf.Resolver.
+func (r *Resolver) LookupAAAA(ctx context.Context, name string) ([]netip.Addr, error) {
+	msg, err := r.Exchange(ctx, name, dns.TypeAAAA)
+	if err != nil {
+		return nil, err
+	}
+	var out []netip.Addr
+	for _, rr := range answers(msg, name, dns.TypeAAAA) {
+		out = append(out, rr.Data.(*dns.AAAA).Addr)
+	}
+	return out, nil
+}
+
+// LookupMX implements spf.Resolver.
+func (r *Resolver) LookupMX(ctx context.Context, name string) ([]spf.MXRecord, error) {
+	msg, err := r.Exchange(ctx, name, dns.TypeMX)
+	if err != nil {
+		return nil, err
+	}
+	var out []spf.MXRecord
+	for _, rr := range answers(msg, name, dns.TypeMX) {
+		mx := rr.Data.(*dns.MX)
+		out = append(out, spf.MXRecord{Preference: mx.Preference, Host: mx.Host})
+	}
+	return out, nil
+}
+
+// LookupPTR implements spf.Resolver.
+func (r *Resolver) LookupPTR(ctx context.Context, ip netip.Addr) ([]string, error) {
+	msg, err := r.Exchange(ctx, ReverseName(ip), dns.TypePTR)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rr := range answers(msg, ReverseName(ip), dns.TypePTR) {
+		out = append(out, rr.Data.(*dns.PTR).Target)
+	}
+	return out, nil
+}
+
+// ReverseName returns the in-addr.arpa or ip6.arpa name for ip.
+func ReverseName(ip netip.Addr) string {
+	if ip.Is4() || ip.Is4In6() {
+		a4 := ip.Unmap().As4()
+		return fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa.", a4[3], a4[2], a4[1], a4[0])
+	}
+	raw := ip.As16()
+	var sb strings.Builder
+	for i := 15; i >= 0; i-- {
+		fmt.Fprintf(&sb, "%x.%x.", raw[i]&0xF, raw[i]>>4)
+	}
+	sb.WriteString("ip6.arpa.")
+	return sb.String()
+}

@@ -1,0 +1,333 @@
+package smtp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"sendervalid/internal/netsim"
+)
+
+// rawSession dials the server and returns the raw connection for
+// protocol-level abuse.
+func rawSession(t *testing.T, fabric *netsim.Fabric, addr string) (interface {
+	Write(p []byte) (int, error)
+	Read(p []byte) (int, error)
+	Close() error
+}, func(prefix string)) {
+	t.Helper()
+	conn, err := fabric.DialContext(context.Background(), "tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	expect := func(prefix string) {
+		t.Helper()
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !strings.HasPrefix(string(buf[:n]), prefix) {
+			t.Fatalf("got %q, want prefix %q", buf[:n], prefix)
+		}
+	}
+	return conn, expect
+}
+
+func TestServerSurvivesGarbage(t *testing.T) {
+	srv := &Server{ReadTimeout: 2 * time.Second}
+	fabric, addr := startServer(t, srv)
+	conn, expect := rawSession(t, fabric, addr)
+	expect("220")
+	// Binary garbage line.
+	if _, err := conn.Write([]byte("\x00\xff\xfe binary trash\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	expect("502")
+	// Empty-argument EHLO.
+	_, _ = conn.Write([]byte("EHLO\r\n"))
+	expect("501")
+	// Malformed MAIL argument.
+	_, _ = conn.Write([]byte("EHLO ok.example\r\n"))
+	expect("250")
+	_, _ = conn.Write([]byte("MAIL FROM:<unterminated\r\n"))
+	expect("501")
+	_, _ = conn.Write([]byte("MAIL bogus\r\n"))
+	expect("501")
+	// The session must still be usable.
+	_, _ = conn.Write([]byte("MAIL FROM:<ok@example.com>\r\n"))
+	expect("250")
+}
+
+func TestServerNullReversePath(t *testing.T) {
+	srv := &Server{}
+	fabric, addr := startServer(t, srv)
+	conn, expect := rawSession(t, fabric, addr)
+	expect("220")
+	_, _ = conn.Write([]byte("EHLO bounce.example\r\n"))
+	expect("250")
+	// Bounce messages use the null reverse-path.
+	_, _ = conn.Write([]byte("MAIL FROM:<>\r\n"))
+	expect("250")
+	_, _ = conn.Write([]byte("RCPT TO:<postmaster@x.example>\r\n"))
+	expect("250")
+	_, _ = conn.Write([]byte("DATA\r\n"))
+	expect("354")
+	_, _ = conn.Write([]byte("Subject: bounce\r\n\r\nbody\r\n.\r\n"))
+	expect("250")
+}
+
+func TestServerMessageSizeCap(t *testing.T) {
+	srv := &Server{MaxMessageBytes: 512}
+	fabric, addr := startServer(t, srv)
+	c := dial(t, fabric, addr)
+	if err := c.Hello("big.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mail("a@b.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rcpt("x@y.example"); err != nil {
+		t.Fatal(err)
+	}
+	big := strings.Repeat("spam and eggs and spam\r\n", 100)
+	err := c.Data([]byte(big))
+	if err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+func TestServerDisconnectMidData(t *testing.T) {
+	var sawMessage bool
+	srv := &Server{
+		ReadTimeout: time.Second,
+		Handler: Handler{
+			OnMessage: func(s *Session, msg []byte) *Reply { sawMessage = true; return nil },
+		},
+	}
+	fabric, addr := startServer(t, srv)
+	conn, expect := rawSession(t, fabric, addr)
+	expect("220")
+	_, _ = conn.Write([]byte("EHLO x.example\r\nMAIL FROM:<a@b.c>\r\n"))
+	expect("250")
+	expect("250")
+	_, _ = conn.Write([]byte("RCPT TO:<d@e.f>\r\nDATA\r\n"))
+	expect("250")
+	expect("354")
+	// Send partial content, then vanish.
+	_, _ = conn.Write([]byte("Subject: interrupted\r\npartial body"))
+	conn.Close()
+	srv.Close()
+	if sawMessage {
+		t.Error("truncated DATA delivered a message")
+	}
+}
+
+func TestServerPipelinedCommands(t *testing.T) {
+	// Clients may pipeline; the server must answer each command in
+	// order.
+	srv := &Server{}
+	fabric, addr := startServer(t, srv)
+	conn, expect := rawSession(t, fabric, addr)
+	expect("220")
+	_, _ = conn.Write([]byte("EHLO pipeline.example\r\nMAIL FROM:<a@b.c>\r\nRCPT TO:<x@y.z>\r\nDATA\r\n"))
+	expect("250") // EHLO
+	expect("250") // MAIL
+	expect("250") // RCPT
+	expect("354") // DATA
+}
+
+func TestServerRsetClearsTransaction(t *testing.T) {
+	srv := &Server{}
+	fabric, addr := startServer(t, srv)
+	c := dial(t, fabric, addr)
+	if err := c.Hello("x.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mail("a@b.c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Cmd("RSET"); err != nil {
+		t.Fatal(err)
+	}
+	// After RSET, RCPT needs a fresh MAIL.
+	err := c.Rcpt("x@y.z")
+	var serr *Error
+	if !errors.As(err, &serr) || serr.Code != 503 {
+		t.Errorf("RCPT after RSET: %v", err)
+	}
+}
+
+func TestServerManySequentialTransactions(t *testing.T) {
+	var accepted int
+	srv := &Server{Handler: Handler{
+		OnMessage: func(s *Session, msg []byte) *Reply { accepted++; return nil },
+	}}
+	fabric, addr := startServer(t, srv)
+	c := dial(t, fabric, addr)
+	if err := c.Hello("bulk.example"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := c.Mail(fmt.Sprintf("sender%d@b.example", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Rcpt("x@y.example"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Data([]byte(fmt.Sprintf("Subject: %d\r\n\r\nbody\r\n", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = c.Quit()
+	srv.Close()
+	if accepted != 20 {
+		t.Errorf("accepted %d of 20 messages", accepted)
+	}
+}
+
+func TestClientReplyParsingEdgeCases(t *testing.T) {
+	fabric := netsim.NewFabric()
+	ln, err := fabric.Listen(netip.MustParseAddrPort("10.2.0.1:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Greeting, then a malformed reply to the first command.
+		_, _ = conn.Write([]byte("220 weird server\r\n"))
+		buf := make([]byte, 256)
+		_, _ = conn.Read(buf)
+		_, _ = conn.Write([]byte("xx not a reply\r\n"))
+	}()
+	c, err := Dial(context.Background(), fabric, "10.2.0.1:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Timeout = 2 * time.Second
+	if _, _, err := c.Cmd("NOOP"); err == nil {
+		t.Error("malformed reply accepted")
+	}
+}
+
+func TestClientMultilineGreeting(t *testing.T) {
+	fabric := netsim.NewFabric()
+	ln, err := fabric.Listen(netip.MustParseAddrPort("10.2.0.2:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, _ = conn.Write([]byte("220-first line\r\n220-second line\r\n220 ready\r\n"))
+		buf := make([]byte, 256)
+		_, _ = conn.Read(buf)
+	}()
+	c, err := Dial(context.Background(), fabric, "10.2.0.2:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.Greeting, "first line") || !strings.Contains(c.Greeting, "ready") {
+		t.Errorf("greeting %q", c.Greeting)
+	}
+}
+
+func TestReceivedHeaderStamping(t *testing.T) {
+	var got []byte
+	fixed := time.Date(2021, 10, 4, 9, 30, 0, 0, time.UTC)
+	srv := &Server{
+		Hostname:      "mx.stamp.example",
+		StampReceived: true,
+		Clock:         func() time.Time { return fixed },
+		Handler: Handler{
+			OnMessage: func(s *Session, msg []byte) *Reply {
+				got = append([]byte(nil), msg...)
+				return nil
+			},
+		},
+	}
+	fabric, addr := startServer(t, srv)
+	c := dial(t, fabric, addr)
+	if err := c.Hello("sender.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mail("a@sender.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rcpt("b@stamp.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Data([]byte("Subject: x\r\n\r\nbody\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	text := string(got)
+	if !strings.HasPrefix(text, "Received: from sender.example (") {
+		t.Fatalf("no trace header:\n%s", text)
+	}
+	for _, want := range []string{
+		"by mx.stamp.example with ESMTP",
+		"Mon, 04 Oct 2021 09:30:00 +0000",
+		"Subject: x",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stamped message missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestReceivedHeaderPreservesDKIM(t *testing.T) {
+	// The trace header is unsigned, so stamping must not break DKIM
+	// verification of the signed portion — the everyday reality DKIM's
+	// header selection exists for.
+	srv := &Server{Hostname: "mx.relay.example", StampReceived: true}
+	var got []byte
+	srv.Handler.OnMessage = func(s *Session, msg []byte) *Reply {
+		got = append([]byte(nil), msg...)
+		return nil
+	}
+	fabric, addr := startServer(t, srv)
+	c := dial(t, fabric, addr)
+	if err := c.Hello("origin.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mail("a@origin.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rcpt("b@relay.example"); err != nil {
+		t.Fatal(err)
+	}
+	signed := "DKIM-Signature: v=1; a=rsa-sha256; d=origin.example; s=s1; h=From; bh=XX; b=YY\r\n" +
+		"From: a@origin.example\r\n\r\nbody\r\n"
+	if err := c.Data([]byte(signed)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	text := string(got)
+	if !strings.HasPrefix(text, "Received:") {
+		t.Fatal("no trace header")
+	}
+	if !strings.Contains(text, "DKIM-Signature: v=1") {
+		t.Error("signature header lost")
+	}
+	// The signed content must be byte-identical after the stamp.
+	idx := strings.Index(text, "DKIM-Signature:")
+	if text[idx:] != signed {
+		t.Errorf("signed portion altered:\n%q\nvs\n%q", text[idx:], signed)
+	}
+}

@@ -1,0 +1,202 @@
+package spf
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// rfcEnv is the example environment from RFC 7208 §7.4.
+func rfcEnv() *MacroEnv {
+	return &MacroEnv{
+		Sender: "strong-bad@email.example.com",
+		Domain: "email.example.com",
+		IP:     netip.MustParseAddr("192.0.2.3"),
+		Helo:   "mta.example.com",
+	}
+}
+
+func TestMacroRFCExamples(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"%{s}", "strong-bad@email.example.com"},
+		{"%{o}", "email.example.com"},
+		{"%{d}", "email.example.com"},
+		{"%{d4}", "email.example.com"},
+		{"%{d3}", "email.example.com"},
+		{"%{d2}", "example.com"},
+		{"%{d1}", "com"},
+		{"%{dr}", "com.example.email"},
+		{"%{d2r}", "example.email"},
+		{"%{l}", "strong-bad"},
+		{"%{l-}", "strong.bad"},
+		{"%{lr}", "strong-bad"},
+		{"%{lr-}", "bad.strong"},
+		{"%{l1r-}", "strong"},
+		{"%{ir}.%{v}._spf.%{d2}", "3.2.0.192.in-addr._spf.example.com"},
+		{"%{lr-}.lp._spf.%{d2}", "bad.strong.lp._spf.example.com"},
+		{"%{lr-}.lp.%{ir}.%{v}._spf.%{d2}", "bad.strong.lp.3.2.0.192.in-addr._spf.example.com"},
+		{"%{ir}.%{v}.%{l1r-}.lp._spf.%{d2}", "3.2.0.192.in-addr.strong.lp._spf.example.com"},
+		{"%{d2}.trusted-domains.example.net", "example.com.trusted-domains.example.net"},
+	}
+	env := rfcEnv()
+	for _, c := range cases {
+		got, err := ExpandMacros(c.in, env, false)
+		if err != nil {
+			t.Errorf("ExpandMacros(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ExpandMacros(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMacroIPv6(t *testing.T) {
+	env := rfcEnv()
+	env.IP = netip.MustParseAddr("2001:db8::cb01")
+	got, err := ExpandMacros("%{ir}.%{v}._spf.%{d2}", env, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "1.0.b.c.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.8.b.d.0.1.0.0.2.ip6._spf.example.com"
+	if got != want {
+		t.Errorf("IPv6 %%{ir}: got\n%s\nwant\n%s", got, want)
+	}
+}
+
+func TestMacroLiterals(t *testing.T) {
+	env := rfcEnv()
+	cases := []struct{ in, want string }{
+		{"%%", "%"},
+		{"%_", " "},
+		{"%-", "%20"},
+		{"no-macros.example.com", "no-macros.example.com"},
+		{"a%%b%_c", "a%b c"},
+	}
+	for _, c := range cases {
+		got, err := ExpandMacros(c.in, env, false)
+		if err != nil {
+			t.Errorf("ExpandMacros(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ExpandMacros(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMacroErrors(t *testing.T) {
+	env := rfcEnv()
+	for _, in := range []string{
+		"%",      // trailing percent
+		"%x",     // invalid escape
+		"%{d",    // unterminated
+		"%{}",    // empty
+		"%{q}",   // unknown letter
+		"%{d2x}", // invalid delimiter
+		"%{c}",   // exp-only macro outside exp
+		"%{r}",   // exp-only macro outside exp
+		"%{t}",   // exp-only macro outside exp
+	} {
+		if _, err := ExpandMacros(in, env, false); err == nil {
+			t.Errorf("ExpandMacros(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestMacroExpMode(t *testing.T) {
+	env := rfcEnv()
+	env.Receiver = "mx.receiver.example"
+	got, err := ExpandMacros("seen by %{r} from %{c}", env, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "seen by mx.receiver.example from 192.0.2.3" {
+		t.Errorf("exp expansion: %q", got)
+	}
+	// %{t} must expand deterministically.
+	if ts, err := ExpandMacros("%{t}", env, true); err != nil || ts != "0" {
+		t.Errorf("%%{t} = %q, %v", ts, err)
+	}
+}
+
+func TestMacroValidatedDefault(t *testing.T) {
+	env := rfcEnv()
+	got, err := ExpandMacros("%{p}", env, false)
+	if err != nil || got != "unknown" {
+		t.Errorf("%%{p} without validation = %q, %v", got, err)
+	}
+	env.Validated = "mail.example.com"
+	got, _ = ExpandMacros("%{p}", env, false)
+	if got != "mail.example.com" {
+		t.Errorf("%%{p} = %q", got)
+	}
+}
+
+func TestMacroURLEscape(t *testing.T) {
+	env := rfcEnv()
+	env.Sender = "a b/c@email.example.com"
+	got, err := ExpandMacros("%{L}", env, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "a%20b%2Fc" {
+		t.Errorf("uppercase macro escape: %q", got)
+	}
+}
+
+func TestMacroSenderDefaults(t *testing.T) {
+	env := &MacroEnv{Sender: "email.example.com", Domain: "email.example.com",
+		IP: netip.MustParseAddr("192.0.2.3")}
+	// A sender without a local part defaults to postmaster.
+	got, err := ExpandMacros("%{l}", env, false)
+	if err != nil || got != "postmaster" {
+		t.Errorf("%%{l} default = %q, %v", got, err)
+	}
+	if got, _ := ExpandMacros("%{o}", env, false); got != "email.example.com" {
+		t.Errorf("%%{o} = %q", got)
+	}
+}
+
+func TestExpandDomain(t *testing.T) {
+	env := rfcEnv()
+	got, err := ExpandDomain("", env)
+	if err != nil || got != "email.example.com" {
+		t.Errorf("empty spec = %q, %v", got, err)
+	}
+	got, err = ExpandDomain("%{d1}.suffix.example", env)
+	if err != nil || got != "com.suffix.example" {
+		t.Errorf("expanded spec = %q, %v", got, err)
+	}
+	// Trailing dots are trimmed.
+	got, _ = ExpandDomain("literal.example.com.", env)
+	if got != "literal.example.com" {
+		t.Errorf("dot trim = %q", got)
+	}
+}
+
+func TestExpandDomainTruncation(t *testing.T) {
+	env := rfcEnv()
+	long := strings.Repeat("aaaaaaaaa.", 40) + "example.com" // > 253 octets
+	got, err := ExpandDomain(long, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > 253 {
+		t.Errorf("expanded domain is %d octets", len(got))
+	}
+	if !strings.HasSuffix(got, "example.com") {
+		t.Errorf("truncation dropped the wrong side: %q", got)
+	}
+}
+
+func TestMacroV4InV6(t *testing.T) {
+	env := rfcEnv()
+	env.IP = netip.MustParseAddr("::ffff:192.0.2.3")
+	if got, _ := ExpandMacros("%{v}", env, false); got != "in-addr" {
+		t.Errorf("%%{v} for v4-mapped = %q", got)
+	}
+	if got, _ := ExpandMacros("%{i}", env, false); got != "192.0.2.3" {
+		t.Errorf("%%{i} for v4-mapped = %q", got)
+	}
+}

@@ -1,0 +1,223 @@
+package spf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIsSPF(t *testing.T) {
+	cases := []struct {
+		txt  string
+		want bool
+	}{
+		{"v=spf1 -all", true},
+		{"v=spf1", true},
+		{"v=spf10 -all", false},
+		{"v=spf1x", false},
+		{"V=SPF1 -all", false}, // version tag is case-sensitive in practice
+		{"spf1 -all", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := IsSPF(c.txt); got != c.want {
+			t.Errorf("IsSPF(%q) = %v, want %v", c.txt, got, c.want)
+		}
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	rec, err := Parse("v=spf1 ip4:192.0.2.1 a:bar.foo.com include:foo.net -all")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(rec.Mechanisms) != 4 {
+		t.Fatalf("got %d mechanisms", len(rec.Mechanisms))
+	}
+	checks := []struct {
+		kind      MechanismKind
+		qualifier Qualifier
+		domain    string
+		ip        string
+	}{
+		{MechIP4, QPass, "", "192.0.2.1"},
+		{MechA, QPass, "bar.foo.com", ""},
+		{MechInclude, QPass, "foo.net", ""},
+		{MechAll, QFail, "", ""},
+	}
+	for i, want := range checks {
+		m := rec.Mechanisms[i]
+		if m.Kind != want.kind || m.Qualifier != want.qualifier ||
+			m.Domain != want.domain || m.IP != want.ip {
+			t.Errorf("mechanism %d = %+v, want %+v", i, m, want)
+		}
+	}
+}
+
+func TestParseQualifiers(t *testing.T) {
+	rec, err := Parse("v=spf1 +a ?mx ~exists:x.example.com -all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Qualifier{QPass, QNeutral, QSoftFail, QFail}
+	for i, q := range want {
+		if rec.Mechanisms[i].Qualifier != q {
+			t.Errorf("mechanism %d qualifier %c, want %c", i, rec.Mechanisms[i].Qualifier, q)
+		}
+	}
+	for _, q := range want {
+		if q.Result() == "" {
+			t.Errorf("qualifier %c has no result", q)
+		}
+	}
+	if QFail.Result() != Fail || QPass.Result() != Pass ||
+		QSoftFail.Result() != SoftFail || QNeutral.Result() != Neutral {
+		t.Error("qualifier result mapping broken")
+	}
+}
+
+func TestParseCIDR(t *testing.T) {
+	cases := []struct {
+		txt            string
+		wantP4, wantP6 int
+	}{
+		{"v=spf1 a/24 -all", 24, -1},
+		{"v=spf1 a//64 -all", -1, 64},
+		{"v=spf1 a/24//64 -all", 24, 64},
+		{"v=spf1 mx:mail.example.com/28 -all", 28, -1},
+		{"v=spf1 a:host.example.com/24//96 -all", 24, 96},
+		{"v=spf1 a -all", -1, -1},
+	}
+	for _, c := range cases {
+		rec, err := Parse(c.txt)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.txt, err)
+			continue
+		}
+		m := rec.Mechanisms[0]
+		if m.Prefix4 != c.wantP4 || m.Prefix6 != c.wantP6 {
+			t.Errorf("Parse(%q): prefixes (%d, %d), want (%d, %d)",
+				c.txt, m.Prefix4, m.Prefix6, c.wantP4, c.wantP6)
+		}
+	}
+}
+
+func TestParseIPLiterals(t *testing.T) {
+	rec, err := Parse("v=spf1 ip4:192.0.2.0/24 ip6:2001:db8::/32 ip6:2001:db8::1 -all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Mechanisms[0].IP != "192.0.2.0/24" {
+		t.Errorf("ip4 literal %q", rec.Mechanisms[0].IP)
+	}
+	if rec.Mechanisms[1].IP != "2001:db8::/32" {
+		t.Errorf("ip6 cidr literal %q", rec.Mechanisms[1].IP)
+	}
+	if rec.Mechanisms[2].IP != "2001:db8::1" {
+		t.Errorf("ip6 literal %q", rec.Mechanisms[2].IP)
+	}
+}
+
+func TestParseModifiers(t *testing.T) {
+	rec, err := Parse("v=spf1 mx redirect=_spf.example.com exp=explain.example.com unknown=keepme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Redirect != "_spf.example.com" {
+		t.Errorf("redirect %q", rec.Redirect)
+	}
+	if rec.Exp != "explain.example.com" {
+		t.Errorf("exp %q", rec.Exp)
+	}
+	if len(rec.UnknownModifiers) != 1 || rec.UnknownModifiers[0] != "unknown=keepme" {
+		t.Errorf("unknown modifiers %v", rec.UnknownModifiers)
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"v=spf1 ipv4:192.0.2.1 -all", // the paper's deliberate typo test (§7.3)
+		"v=spf1 bogus -all",
+		"v=spf1 ip4: -all",
+		"v=spf1 include: -all",
+		"v=spf1 exists -all",
+		"v=spf1 all:arg",
+		"v=spf1 a/99 -all",
+		"v=spf1 a//300 -all",
+		"v=spf1 redirect= -all",
+		"v=spf1 exp= -all",
+		"not-spf-at-all",
+	}
+	for _, txt := range cases {
+		if _, err := Parse(txt); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed record", txt)
+		}
+	}
+}
+
+func TestParsePartialRecordOnError(t *testing.T) {
+	// A record with a syntax error mid-way still exposes the terms
+	// around it, so non-compliant evaluation modes can keep going —
+	// the behaviour the paper's syntax-error test policy elicits.
+	rec, err := Parse("v=spf1 ip4:192.0.2.1 ipv4:198.51.100.1 a:after.example.com -all")
+	if err == nil {
+		t.Fatal("typo accepted")
+	}
+	var serr *SyntaxError
+	if !asSyntaxError(err, &serr) {
+		t.Fatalf("error type %T", err)
+	}
+	if len(rec.Mechanisms) != 3 {
+		t.Errorf("partial record has %d mechanisms, want 3 (error term skipped)", len(rec.Mechanisms))
+	}
+	if rec.Mechanisms[1].Kind != MechA || rec.Mechanisms[1].Domain != "after.example.com" {
+		t.Errorf("term after error: %+v", rec.Mechanisms[1])
+	}
+}
+
+func asSyntaxError(err error, target **SyntaxError) bool {
+	se, ok := err.(*SyntaxError)
+	if ok {
+		*target = se
+	}
+	return ok
+}
+
+func TestRecordStringRoundTrip(t *testing.T) {
+	for _, txt := range []string{
+		"v=spf1 ip4:192.0.2.1 a:bar.foo.com include:foo.net -all",
+		"v=spf1 mx ~all",
+		"v=spf1 a/24 exists:%{i}.spf.example.com ?all",
+		"v=spf1 redirect=_spf.example.com",
+	} {
+		rec, err := Parse(txt)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", txt, err)
+		}
+		rec2, err := Parse(rec.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", rec.String(), txt, err)
+		}
+		if rec.String() != rec2.String() {
+			t.Errorf("unstable rendering: %q vs %q", rec.String(), rec2.String())
+		}
+	}
+}
+
+func TestMechanismKindRequiresLookup(t *testing.T) {
+	lookups := map[MechanismKind]bool{
+		MechAll: false, MechIP4: false, MechIP6: false,
+		MechInclude: true, MechA: true, MechMX: true, MechPTR: true, MechExists: true,
+	}
+	for kind, want := range lookups {
+		if got := kind.RequiresLookup(); got != want {
+			t.Errorf("%s.RequiresLookup() = %v, want %v", kind, got, want)
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	err := &SyntaxError{Term: "ipv4:1.2.3.4", Reason: "unknown mechanism"}
+	if !strings.Contains(err.Error(), "ipv4:1.2.3.4") {
+		t.Errorf("error message %q lacks term", err.Error())
+	}
+}
