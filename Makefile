@@ -1,0 +1,20 @@
+# Development entry points. `make check` is the gate: vet, build, and
+# the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check vet build test bench
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x .

@@ -12,12 +12,14 @@ import (
 	"context"
 	"crypto/ed25519"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"net/netip"
 	"strings"
 	"testing"
 	"time"
 
+	"sendervalid/internal/campaign"
 	"sendervalid/internal/dataset"
 	"sendervalid/internal/dkim"
 	"sendervalid/internal/dns"
@@ -499,6 +501,75 @@ func BenchmarkSMTPProbeSession(b *testing.B) {
 			b.Fatalf("probe: %+v", res)
 		}
 	}
+}
+
+// --- Campaign orchestration ---
+
+// BenchmarkCampaignThroughput measures the campaign scheduler driving
+// real SMTP probe sessions over the fabric with a fifth of the fleet
+// initially dark (netsim-injected connection refusals), so the
+// transient-retry path — classification, backoff, re-dispatch — is on
+// the measured path. Each outage heals at first contact; every task
+// must finish within the attempt budget.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	const fleet = 20
+	fabric := netsim.NewFabric()
+	tests := []string{"t01", "t02", "t03", "t12"}
+	addrs := make(map[string]netip.Addr, fleet)
+	ids := make([]string, fleet)
+	for i := 0; i < fleet; i++ {
+		id := fmt.Sprintf("bench%02d", i)
+		addr := netip.MustParseAddr(fmt.Sprintf("203.0.113.%d", 10+i))
+		mta := mtasim.New(mtasim.Config{
+			ID: id, Hostname: id + ".mx.example", Addr4: addr,
+			Profile: mtasim.Profile{AcceptAnyUser: true},
+			Fabric:  fabric,
+		})
+		if err := mta.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(mta.Close)
+		addrs[id], ids[i] = addr, id
+	}
+	client := &probe.Client{
+		Dialer: fabric, Suffix: "spf-test.dns-lab.example",
+		HeloDomain: "probe.example", RecipientDomain: "target.example",
+		Timeout: 5 * time.Second,
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	var retried, attempts float64
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < fleet; j += 5 {
+			fabric.SetUnreachable(addrs[ids[j]], true)
+		}
+		c := campaign.New(campaign.Config{
+			Workers: 16, MaxAttempts: 4, Seed: int64(i),
+			BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond,
+		}, func(ctx context.Context, t campaign.Task) error {
+			res := client.Probe(ctx, addrs[t.MTA], t.MTA, t.Test)
+			if errors.Is(res.Err, netsim.ErrConnRefused) {
+				fabric.SetUnreachable(addrs[t.MTA], false)
+			}
+			return res.Err
+		})
+		for _, id := range ids {
+			for _, testID := range tests {
+				c.Add(campaign.Task{MTA: id, Test: testID})
+			}
+		}
+		if err := c.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+		snap := c.Snapshot()
+		if snap.Failed > 0 || snap.Done != fleet*len(tests) {
+			b.Fatalf("campaign: %s", snap)
+		}
+		retried, attempts = float64(snap.Retried), float64(snap.Attempts)
+	}
+	b.ReportMetric(float64(fleet*len(tests)), "probes/op")
+	b.ReportMetric(retried, "retries/op")
+	b.ReportMetric(attempts, "attempts/op")
 }
 
 // --- Extension benchmarks ---

@@ -37,24 +37,31 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	entries, err := dnsserver.ReadLogJSON(f)
+
+	// Stream the log rather than slurping it: every analysis below
+	// ignores queries it cannot attribute to an MTA, so only the
+	// attributed subset is retained in memory.
+	var entries []dnsserver.LogEntry
+	total := 0
+	mtas := map[string]bool{}
+	tests := map[string]bool{}
+	err = dnsserver.ForEachLogJSON(f, func(e dnsserver.LogEntry) error {
+		total++
+		if e.TestID != "" {
+			tests[e.TestID] = true
+		}
+		if e.MTAID != "" {
+			mtas[e.MTAID] = true
+			entries = append(entries, e)
+		}
+		return nil
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
 		os.Exit(1)
 	}
-
-	mtas := map[string]bool{}
-	tests := map[string]bool{}
-	for _, e := range entries {
-		if e.MTAID != "" {
-			mtas[e.MTAID] = true
-		}
-		if e.TestID != "" {
-			tests[e.TestID] = true
-		}
-	}
-	fmt.Printf("log: %d queries from %d MTAs across %d test policies\n\n",
-		len(entries), len(mtas), len(tests))
+	fmt.Printf("log: %d queries (%d attributed) from %d MTAs across %d test policies\n\n",
+		total, len(entries), len(mtas), len(tests))
 
 	sp := experiment.AnalyzeSerialParallelEntries(entries)
 	ll := experiment.AnalyzeLookupLimitsEntries(entries)

@@ -1,0 +1,184 @@
+// Command campaign runs a durable, rate-limited probe campaign against
+// the simulated world. It is the operational face of the
+// internal/campaign subsystem: the same sweep cmd/experiment performs
+// one-shot, but paced per MTA, retrying transient failures, journaling
+// every task transition, and resumable after a crash or Ctrl-C.
+//
+// Usage:
+//
+//	campaign [-domains 2000] [-seed 1] [-tests core|all|t01,t02,...]
+//	         [-workers 64] [-rate 2] [-burst 1] [-attempts 4]
+//	         [-journal camp.jsonl] [-resume] [-interval 2s]
+//	         [-population notify|twoweek] [-timescale 0.001]
+//
+// The world is a deterministic function of -domains/-seed/-population,
+// so a resumed invocation with the same parameters probes the same
+// fleet; the journal's (MTA, test) keys line up, and only unfinished
+// pairs are re-run. Interrupting with Ctrl-C cancels the campaign
+// cleanly (in-flight probes stop within one SMTP step) and leaves the
+// journal ready for -resume.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"sendervalid/internal/campaign"
+	"sendervalid/internal/dataset"
+	"sendervalid/internal/experiment"
+)
+
+func main() {
+	var (
+		domains    = flag.Int("domains", 2000, "domains in the population")
+		seed       = flag.Int64("seed", 1, "generation seed (must match across resume)")
+		testsFlag  = flag.String("tests", "core", `test policies: "core", "all", or a comma-separated ID list`)
+		workers    = flag.Int("workers", 2*runtime.NumCPU(), "global concurrency cap")
+		rate       = flag.Float64("rate", 2, "probes/second budget per MTA (0 = unlimited)")
+		burst      = flag.Int("burst", 1, "per-MTA token bucket depth")
+		attempts   = flag.Int("attempts", 4, "attempt budget per (MTA, test) pair")
+		journal    = flag.String("journal", "", "append-only JSONL journal of task transitions")
+		resume     = flag.Bool("resume", false, "replay the journal and re-run only unfinished pairs")
+		interval   = flag.Duration("interval", 2*time.Second, "progress snapshot period (0 disables)")
+		population = flag.String("population", "notify", `population flavour: "notify" or "twoweek"`)
+		timeScale  = flag.Float64("timescale", 0.001, "protocol delay multiplier (1.0 = paper timing)")
+	)
+	flag.Parse()
+
+	if *resume && *journal == "" {
+		fmt.Fprintln(os.Stderr, "campaign: -resume requires -journal")
+		os.Exit(2)
+	}
+
+	var tests []string
+	switch *testsFlag {
+	case "core":
+		tests = experiment.CoreTests
+	case "all":
+		tests = experiment.AllTests()
+	default:
+		tests = strings.Split(*testsFlag, ",")
+	}
+
+	var spec dataset.Spec
+	var rates = experiment.NotifyRates()
+	switch *population {
+	case "notify":
+		spec = dataset.NotifyEmailSpec(*seed)
+		spec.NumDomains = *domains
+		spec.AlexaTop1M = *domains / 9
+		spec.AlexaTop1K = *domains / 300
+	case "twoweek":
+		spec = dataset.TwoWeekMXSpec(*seed)
+		spec.NumDomains = *domains
+		spec.LocalDomains = max(2, *domains/800)
+		rates = experiment.TwoWeekRates()
+	default:
+		fmt.Fprintf(os.Stderr, "campaign: unknown population %q\n", *population)
+		os.Exit(2)
+	}
+
+	fmt.Printf("== building world: %d domains, seed %d, %q rates ==\n", *domains, *seed, *population)
+	pop := dataset.Generate(spec)
+	world, err := experiment.BuildWorld(pop, experiment.WorldConfig{
+		Seed: *seed, Rates: rates, TimeScale: *timeScale, EnableIPv6DNS: true,
+	})
+	exitOn(err)
+	defer world.Close()
+
+	opts := experiment.ProbeCampaignOpts{
+		Workers:     *workers,
+		MTARate:     *rate,
+		MTABurst:    *burst,
+		MaxAttempts: *attempts,
+	}
+	if *journal != "" {
+		var replay *campaign.Replay
+		var jf *os.File
+		replay, jf, err = campaign.Resume(*journal)
+		exitOn(err)
+		defer jf.Close()
+		opts.Journal = jf
+		if *resume {
+			opts.Replay = replay
+			fmt.Printf("journal %s: %d events, %d done, %d failed — resuming unfinished work\n",
+				*journal, replay.Events, replay.Done(), replay.Failed())
+		} else if replay.Events > 0 {
+			fmt.Fprintf(os.Stderr,
+				"campaign: journal %s already has %d events; pass -resume to continue it\n",
+				*journal, replay.Events)
+			os.Exit(2)
+		}
+	}
+
+	pc := experiment.NewProbeCampaign(world, tests, opts)
+	total := pc.Snapshot().Total
+	fmt.Printf("campaign: %d (MTA, test) pairs across %d MTAs, %d tests; rate %.3g/s/MTA, %d workers\n",
+		total, len(pop.MTAs), len(tests), *rate, *workers)
+	if total == 0 {
+		fmt.Println("nothing to do: journal records every pair as finished")
+		return
+	}
+
+	// Ctrl-C cancels cleanly: in-flight probes abandon their SMTP walk
+	// within one step and the journal stays resumable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	stopProgress := make(chan struct{})
+	var progress sync.WaitGroup
+	if *interval > 0 {
+		progress.Add(1)
+		go func() {
+			defer progress.Done()
+			ticker := time.NewTicker(*interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					fmt.Println(pc.Snapshot())
+				case <-stopProgress:
+					return
+				}
+			}
+		}()
+	}
+
+	run, runErr := pc.Run(ctx)
+	close(stopProgress)
+	progress.Wait()
+
+	s := pc.Snapshot()
+	fmt.Println(s)
+	if runErr != nil {
+		fmt.Printf("campaign interrupted (%v): %d of %d pairs finished", runErr, s.Completed(), total)
+		if *journal != "" {
+			fmt.Printf("; rerun with -resume to continue")
+		}
+		fmt.Println()
+		os.Exit(130)
+	}
+
+	a := experiment.AnalyzeProbes(world, run, false)
+	fmt.Printf("\ncampaign complete: %d done, %d failed, %d retries across %d attempts\n",
+		s.Done, s.Failed, s.Retried, s.Attempts)
+	fmt.Printf("SPF-validating: %d of %d MTAs, %d of %d domains\n",
+		a.SPFMTAs, a.MTAs, a.SPFDomains, a.Domains)
+	fmt.Printf("probes completed %d of %d; spam-rejecting MTAs %d, blacklist-rejecting %d\n",
+		a.ProbesCompleted, a.ProbesTotal, a.SpamRejected, a.BlacklistRejected)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -6,10 +6,17 @@
 // Usage:
 //
 //	experiment [-domains 2000] [-seed 1] [-workers 64] [-timescale 0.001]
-//	           [-all-tests] [-paper-scale]
+//	           [-all-tests] [-paper-scale] [-journal PREFIX] [-resume]
 //
 // -paper-scale uses the full dataset sizes (26,695 / 22,548 domains);
 // expect a long run and tens of thousands of goroutines.
+//
+// -journal PREFIX journals the two probe experiments to
+// PREFIX.notifymx.jsonl and PREFIX.twoweekmx.jsonl; with -resume an
+// interrupted run (same -domains/-seed) skips every (MTA, test) pair a
+// journal already records as finished. Populations and MTA behaviour
+// are rebuilt deterministically from the seed, so the journal keys
+// stay valid across processes.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"runtime"
 	"time"
 
+	"sendervalid/internal/campaign"
 	"sendervalid/internal/dataset"
 	"sendervalid/internal/experiment"
 	"sendervalid/internal/policy"
@@ -34,8 +42,14 @@ func main() {
 		allTests   = flag.Bool("all-tests", false, "probe all 39 policies instead of the reported core set")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's full dataset sizes")
 		logOut     = flag.String("log-out", "", "write the TwoWeekMX query log (JSON lines) for offline analysis with cmd/analyze")
+		journal    = flag.String("journal", "", "journal path prefix for the probe experiments (PREFIX.notifymx.jsonl, PREFIX.twoweekmx.jsonl)")
+		resume     = flag.Bool("resume", false, "skip (MTA, test) pairs the journals already record as finished (requires -journal)")
 	)
 	flag.Parse()
+	if *resume && *journal == "" {
+		fmt.Fprintln(os.Stderr, "experiment: -resume requires -journal")
+		os.Exit(2)
+	}
 
 	neSpec := dataset.NotifyEmailSpec(*seed)
 	twSpec := dataset.TwoWeekMXSpec(*seed + 1)
@@ -88,7 +102,7 @@ func main() {
 		EnableIPv6DNS: true, ProfileDrift: 0.05,
 	})
 	exitOn(err)
-	nmxRun := experiment.RunProbes(ctx, nmxWorld, tests, *workers)
+	nmxRun := runProbes(ctx, nmxWorld, tests, *workers, *journal, "notifymx", *resume)
 	nmxAnalysis := experiment.AnalyzeProbes(nmxWorld, nmxRun, false)
 	nmxAnalysis.Name = "NotifyMX"
 	fmt.Printf("spam-rejecting MTAs: %d; blacklist-rejecting: %d\n",
@@ -102,7 +116,7 @@ func main() {
 		EnableIPv6DNS: true,
 	})
 	exitOn(err)
-	twRun := experiment.RunProbes(ctx, twWorld, tests, *workers)
+	twRun := runProbes(ctx, twWorld, tests, *workers, *journal, "twoweekmx", *resume)
 	twAnalysis := experiment.AnalyzeProbes(twWorld, twRun, true)
 
 	fmt.Print(experiment.RenderTable5(
@@ -126,6 +140,33 @@ func main() {
 	twWorld.Close()
 
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runProbes executes one probe experiment, journaled when -journal is
+// set. With -resume, pairs the journal records as finished are skipped
+// (the replayed count is reported); without it, a non-empty journal is
+// an error so two fresh runs never interleave in one record.
+func runProbes(ctx context.Context, w *experiment.World, tests []string, workers int, prefix, name string, resume bool) *experiment.ProbeRun {
+	if prefix == "" {
+		return experiment.RunProbes(ctx, w, tests, workers)
+	}
+	path := prefix + "." + name + ".jsonl"
+	replay, jf, err := campaign.Resume(path)
+	exitOn(err)
+	opts := experiment.ProbeCampaignOpts{Workers: workers, Journal: jf}
+	if resume {
+		opts.Replay = replay
+		if n := len(replay.Final); n > 0 {
+			fmt.Printf("resuming %s: %d pairs already finished in %s\n", name, n, path)
+		}
+	} else if replay.Events > 0 {
+		fmt.Fprintf(os.Stderr, "experiment: journal %s already has %d events; pass -resume to continue it\n", path, replay.Events)
+		os.Exit(2)
+	}
+	run, err := experiment.NewProbeCampaign(w, tests, opts).Run(ctx)
+	exitOn(err)
+	exitOn(jf.Close())
+	return run
 }
 
 func exitOn(err error) {

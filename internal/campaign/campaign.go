@@ -1,0 +1,407 @@
+// Package campaign turns one-shot probe runs into durable measurement
+// campaigns. The study's NotifyMX/TwoWeekMX sweeps probed tens of
+// thousands of MTAs over weeks, pacing traffic per target so the
+// measurement stayed polite and unblocked; this package provides the
+// orchestration that makes such sweeps survivable at scale:
+//
+//   - a sharded work queue keyed by target (the MTA today, an AS
+//     tomorrow) so no single destination is ever probed concurrently;
+//   - per-shard token-bucket rate limiting under a global concurrency
+//     cap, so aggregate throughput scales with the number of targets
+//     while each target sees at most its own budget;
+//   - retry of transient failures (connection refused, timeouts, 4xx
+//     SMTP replies) with exponential backoff and jitter, bounded by an
+//     attempt budget, while terminal outcomes are never retried;
+//   - a crash-safe append-only JSONL journal of task state transitions
+//     (pending → attempt(n) → done/failed) that Resume replays so a
+//     restarted campaign re-runs only unfinished (MTA, test) pairs;
+//   - a live Snapshot of counters for progress reporting.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"io"
+	mrand "math/rand"
+	"sync"
+	"time"
+)
+
+// Key identifies one unit of campaign work: an (MTA, test) pair.
+type Key struct {
+	MTA  string `json:"mta"`
+	Test string `json:"test"`
+}
+
+// Task is one schedulable unit of work.
+type Task struct {
+	// MTA and Test identify the work; together they are the task's
+	// durable identity in the journal.
+	MTA  string
+	Test string
+	// Shard is the politeness domain: tasks sharing a shard never run
+	// concurrently and draw from one rate budget. Empty defaults to
+	// MTA, the per-destination discipline the study used; campaigns
+	// grouping MTAs by AS set it explicitly.
+	Shard string
+}
+
+// Key returns the task's durable identity.
+func (t Task) Key() Key { return Key{MTA: t.MTA, Test: t.Test} }
+
+func (t Task) shardName() string {
+	if t.Shard != "" {
+		return t.Shard
+	}
+	return t.MTA
+}
+
+// TaskFunc executes one attempt of a task. A nil return marks the
+// task done; non-nil returns are classified (see Class) into transient
+// failures that are retried, terminal failures that are not, and
+// aborts (context cancellation) that leave the task unfinished for a
+// later resume.
+type TaskFunc func(ctx context.Context, t Task) error
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Workers caps concurrent attempts across all shards. Default 32.
+	Workers int
+	// ShardRate is the sustained attempt budget per shard in
+	// attempts/second. Zero means unlimited.
+	ShardRate float64
+	// ShardBurst is the token-bucket depth per shard. Default 1: a
+	// fresh shard may be probed immediately, then paces at ShardRate.
+	ShardBurst int
+	// MaxAttempts bounds attempts per task, first try included.
+	// Default 4.
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry; each further
+	// retry doubles it. Default 100ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff growth. Default 10s.
+	BackoffMax time.Duration
+	// Seed drives retry jitter (full jitter in [delay/2, delay]).
+	Seed int64
+	// Classify overrides DefaultClassify.
+	Classify func(error) Class
+	// Journal, when set, receives the append-only JSONL record of
+	// task state transitions. Each event is written as one line as it
+	// happens, so a crash loses at most the event in flight.
+	Journal io.Writer
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 32
+	}
+	if cfg.ShardBurst <= 0 {
+		cfg.ShardBurst = 1
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 10 * time.Second
+	}
+	if cfg.Classify == nil {
+		cfg.Classify = DefaultClassify
+	}
+}
+
+// taskState tracks one task through the campaign.
+type taskState struct {
+	task     Task
+	attempts int
+	state    State
+}
+
+// State is a task's position in the lifecycle.
+type State string
+
+// Task states, as they appear in journal events.
+const (
+	StatePending State = "pending"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Campaign is a durable, rate-limited run over a set of tasks.
+type Campaign struct {
+	cfg Config
+	run TaskFunc
+
+	mu      sync.Mutex
+	shards  map[string]*shard
+	order   []string // shard round-robin order (insertion order)
+	rrNext  int
+	tasks   map[Key]*taskState
+	journal *journalWriter
+	rng     *mrand.Rand
+
+	// counters (guarded by mu)
+	total    int
+	done     int
+	failed   int
+	inflight int
+	retried  int
+	attempts int
+	started  time.Time
+
+	wake chan struct{}
+}
+
+// New builds an empty campaign; Add queues work and Run executes it.
+func New(cfg Config, run TaskFunc) *Campaign {
+	cfg.fillDefaults()
+	return &Campaign{
+		cfg:     cfg,
+		run:     run,
+		shards:  make(map[string]*shard),
+		tasks:   make(map[Key]*taskState),
+		journal: newJournalWriter(cfg.Journal),
+		rng:     mrand.New(mrand.NewSource(cfg.Seed ^ 0x636d70)),
+		wake:    make(chan struct{}, 1),
+	}
+}
+
+// Add enqueues tasks. Tasks whose Key is already known are ignored, so
+// re-adding the full task set after a Resume is harmless. Add may not
+// be called concurrently with Run.
+func (c *Campaign) Add(tasks ...Task) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range tasks {
+		k := t.Key()
+		if _, dup := c.tasks[k]; dup {
+			continue
+		}
+		c.tasks[k] = &taskState{task: t, state: StatePending}
+		c.total++
+		s := c.shardFor(t.shardName())
+		s.push(t, time.Time{})
+		c.journal.event(event{Ev: evEnqueue, Key: k})
+	}
+}
+
+// shardFor returns (creating on first use) the named shard.
+// Caller holds mu.
+func (c *Campaign) shardFor(name string) *shard {
+	s, ok := c.shards[name]
+	if !ok {
+		s = newShard(name, c.cfg.ShardRate, c.cfg.ShardBurst)
+		c.shards[name] = s
+		c.order = append(c.order, name)
+	}
+	return s
+}
+
+// Pending reports how many queued tasks have not yet reached a final
+// state (done or failed).
+func (c *Campaign) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total - c.done - c.failed
+}
+
+// Run executes the campaign until every task reaches a final state or
+// ctx is cancelled. On cancellation, in-flight attempts are given the
+// cancelled context (a context-aware TaskFunc returns within one
+// protocol step), their outcomes are journaled if they completed, and
+// Run returns ctx.Err(); everything unfinished stays pending in the
+// journal for a later Resume.
+func (c *Campaign) Run(ctx context.Context) error {
+	if c.run == nil {
+		return errors.New("campaign: no TaskFunc configured")
+	}
+	c.mu.Lock()
+	if c.started.IsZero() {
+		c.started = time.Now()
+	}
+	c.mu.Unlock()
+
+	sem := make(chan struct{}, c.cfg.Workers)
+	var wg sync.WaitGroup
+	cancelled := false
+
+	for !cancelled {
+		c.mu.Lock()
+		remaining := c.total - c.done - c.failed
+		c.mu.Unlock()
+		if remaining == 0 {
+			break
+		}
+
+		// Take a worker slot before popping work, so Inflight never
+		// overshoots the cap while a dispatched task waits to start.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			cancelled = true
+			continue
+		}
+		c.mu.Lock()
+		task, ready, wait := c.nextLocked(time.Now())
+		c.mu.Unlock()
+
+		if ready {
+			wg.Add(1)
+			go func(t Task) {
+				defer wg.Done()
+				c.attempt(ctx, t)
+				<-sem
+				c.wakeup()
+			}(task)
+			continue
+		}
+		<-sem
+
+		// Nothing dispatchable: wait for an attempt to finish, a rate
+		// or retry window to open, or cancellation.
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if wait > 0 {
+			timer = time.NewTimer(wait)
+			timerC = timer.C
+		}
+		select {
+		case <-c.wake:
+		case <-timerC:
+		case <-ctx.Done():
+			cancelled = true
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+
+	wg.Wait()
+	if cancelled || ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// nextLocked scans shards round-robin for a dispatchable task: the
+// shard has queued eligible work, no attempt in flight, and a rate
+// token available. When nothing is dispatchable it returns the
+// shortest wait until a rate or retry window opens (0 = no timed
+// window; wait on the wake channel alone). Caller holds mu.
+func (c *Campaign) nextLocked(now time.Time) (Task, bool, time.Duration) {
+	minWait := time.Duration(0)
+	consider := func(d time.Duration) {
+		if d <= 0 {
+			return
+		}
+		if minWait == 0 || d < minWait {
+			minWait = d
+		}
+	}
+	n := len(c.order)
+	for i := 0; i < n; i++ {
+		s := c.shards[c.order[(c.rrNext+i)%n]]
+		if s.inflight || len(s.queue) == 0 {
+			continue
+		}
+		idx, notBefore := s.eligible(now)
+		if idx < 0 {
+			consider(notBefore.Sub(now))
+			continue
+		}
+		if !s.bucket.take(now) {
+			consider(s.bucket.wait(now))
+			continue
+		}
+		task := s.pop(idx)
+		s.inflight = true
+		c.inflight++
+		c.rrNext = (c.rrNext + i + 1) % n
+		return task, true, 0
+	}
+	return Task{}, false, minWait
+}
+
+// attempt runs one attempt and applies the outcome.
+func (c *Campaign) attempt(ctx context.Context, t Task) {
+	k := t.Key()
+	c.mu.Lock()
+	st := c.tasks[k]
+	st.state = StateRunning
+	st.attempts++
+	c.attempts++
+	n := st.attempts
+	c.journal.event(event{Ev: evAttempt, Key: k, N: n})
+	c.mu.Unlock()
+
+	err := c.run(ctx, t)
+	class := c.cfg.Classify(err)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.shards[t.shardName()]
+	s.inflight = false
+	c.inflight--
+
+	switch class {
+	case Done:
+		st.state = StateDone
+		c.done++
+		c.journal.event(event{Ev: evDone, Key: k, N: n})
+	case Terminal:
+		st.state = StateFailed
+		c.failed++
+		c.journal.event(event{Ev: evFailed, Key: k, N: n, Err: errString(err)})
+	case Transient:
+		if n >= c.cfg.MaxAttempts {
+			st.state = StateFailed
+			c.failed++
+			c.journal.event(event{Ev: evFailed, Key: k, N: n, Err: errString(err)})
+			break
+		}
+		delay := c.backoff(n)
+		st.state = StatePending
+		c.retried++
+		c.journal.event(event{Ev: evRetry, Key: k, N: n, Err: errString(err), DelayMS: delay.Milliseconds()})
+		s.push(t, time.Now().Add(delay))
+	case Aborted:
+		// Cancellation voided the attempt: it neither consumed budget
+		// nor produced an outcome. The task stays pending (and
+		// unfinished in the journal) for a resumed run.
+		st.attempts--
+		c.attempts--
+		st.state = StatePending
+		s.pushFront(t, time.Time{})
+	}
+}
+
+// backoff computes the delay before retry n+1: exponential growth from
+// BackoffBase capped at BackoffMax, with jitter in [delay/2, delay] so
+// synchronized failures (one dead destination, many queued tests)
+// don't retry in lockstep. Caller holds mu (rng is not goroutine-safe).
+func (c *Campaign) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	half := d / 2
+	return half + time.Duration(c.rng.Int63n(int64(half)+1))
+}
+
+// wakeup nudges the dispatcher after an attempt completes.
+func (c *Campaign) wakeup() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

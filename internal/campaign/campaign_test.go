@@ -1,0 +1,425 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sendervalid/internal/netsim"
+	"sendervalid/internal/smtp"
+)
+
+func errConnRefusedForTest() error { return netsim.ErrConnRefused }
+
+// tasksFor builds the full (MTA, test) cross product.
+func tasksFor(mtas, tests int) []Task {
+	out := make([]Task, 0, mtas*tests)
+	for m := 0; m < mtas; m++ {
+		for t := 0; t < tests; t++ {
+			out = append(out, Task{MTA: fmt.Sprintf("m%03d", m), Test: fmt.Sprintf("t%02d", t)})
+		}
+	}
+	return out
+}
+
+func TestCampaignRunsEveryTaskOnce(t *testing.T) {
+	var mu sync.Mutex
+	ran := make(map[Key]int)
+	c := New(Config{Workers: 8}, func(ctx context.Context, task Task) error {
+		mu.Lock()
+		ran[task.Key()]++
+		mu.Unlock()
+		return nil
+	})
+	tasks := tasksFor(10, 4)
+	c.Add(tasks...)
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != len(tasks) {
+		t.Fatalf("ran %d distinct tasks, want %d", len(ran), len(tasks))
+	}
+	for k, n := range ran {
+		if n != 1 {
+			t.Errorf("task %v ran %d times", k, n)
+		}
+	}
+	s := c.Snapshot()
+	if s.Done != len(tasks) || s.Failed != 0 || s.Queued != 0 || s.Inflight != 0 {
+		t.Errorf("snapshot after run: %+v", s)
+	}
+}
+
+func TestShardNeverProbedConcurrently(t *testing.T) {
+	var mu sync.Mutex
+	active := make(map[string]int)
+	maxActive := make(map[string]int)
+	c := New(Config{Workers: 16}, func(ctx context.Context, task Task) error {
+		mu.Lock()
+		active[task.MTA]++
+		if active[task.MTA] > maxActive[task.MTA] {
+			maxActive[task.MTA] = active[task.MTA]
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		active[task.MTA]--
+		mu.Unlock()
+		return nil
+	})
+	c.Add(tasksFor(4, 12)...)
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for mta, n := range maxActive {
+		if n > 1 {
+			t.Errorf("shard %s saw %d concurrent attempts", mta, n)
+		}
+	}
+}
+
+func TestTransientRetryWithBudget(t *testing.T) {
+	transient := &smtp.Error{Code: 421, Message: "greylisted, try again"}
+	var mu sync.Mutex
+	attempts := make(map[Key]int)
+	c := New(Config{
+		Workers:     4,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+	}, func(ctx context.Context, task Task) error {
+		mu.Lock()
+		attempts[task.Key()]++
+		n := attempts[task.Key()]
+		mu.Unlock()
+		switch task.MTA {
+		case "m000": // succeeds on the 2nd attempt
+			if n < 2 {
+				return transient
+			}
+			return nil
+		case "m001": // transient forever: must exhaust the budget
+			return transient
+		case "m002": // terminal: must not be retried
+			return &smtp.Error{Code: 554, Message: "no"}
+		}
+		return nil
+	})
+	c.Add(Task{MTA: "m000", Test: "t01"}, Task{MTA: "m001", Test: "t01"},
+		Task{MTA: "m002", Test: "t01"}, Task{MTA: "m003", Test: "t01"})
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := attempts[Key{"m000", "t01"}]; got != 2 {
+		t.Errorf("recovering task: %d attempts, want 2", got)
+	}
+	if got := attempts[Key{"m001", "t01"}]; got != 3 {
+		t.Errorf("always-transient task: %d attempts, want budget of 3", got)
+	}
+	if got := attempts[Key{"m002", "t01"}]; got != 1 {
+		t.Errorf("terminal task retried: %d attempts, want 1", got)
+	}
+	s := c.Snapshot()
+	if s.Done != 2 || s.Failed != 2 {
+		t.Errorf("done %d failed %d, want 2/2", s.Done, s.Failed)
+	}
+	if s.Retried != 3 { // m000 once + m001 twice
+		t.Errorf("retried %d, want 3", s.Retried)
+	}
+}
+
+// TestResumeAfterCancel is the crash/resume acceptance criterion: a
+// campaign cancelled mid-run and restarted from its journal finishes
+// every (MTA, test) pair exactly once, with replay re-enqueueing only
+// unfinished work.
+func TestResumeAfterCancel(t *testing.T) {
+	tasks := tasksFor(12, 4)
+	var journal bytes.Buffer
+
+	var mu sync.Mutex
+	completions := make(map[Key]int) // successful-outcome count per task
+
+	runFn := func(ctx context.Context, task Task) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		mu.Lock()
+		completions[task.Key()]++
+		mu.Unlock()
+		return nil
+	}
+
+	// Phase 1: cancel after roughly half the tasks complete.
+	ctx, cancel := context.WithCancel(context.Background())
+	c1 := New(Config{Workers: 3, Journal: &journal}, runFn)
+	half := len(tasks) / 2
+	c1.Add(tasks...)
+	go func() {
+		for c1.Snapshot().Completed() < half {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	if err := c1.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+	firstDone := c1.Snapshot().Done
+	if firstDone == 0 || firstDone == len(tasks) {
+		t.Fatalf("cancellation did not land mid-run: %d of %d done", firstDone, len(tasks))
+	}
+
+	// Phase 2: replay the journal, re-enqueue only unfinished pairs.
+	replay, err := ReadJournal(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Done() != firstDone {
+		t.Errorf("replay sees %d done, first run reported %d", replay.Done(), firstDone)
+	}
+	remaining := replay.Unfinished(tasks)
+	if len(remaining) != len(tasks)-firstDone {
+		t.Errorf("replay re-enqueues %d tasks, want %d", len(remaining), len(tasks)-firstDone)
+	}
+	for _, task := range remaining {
+		if n := completions[task.Key()]; n != 0 {
+			t.Errorf("task %v completed %d times yet re-enqueued", task.Key(), n)
+		}
+	}
+
+	c2 := New(Config{Workers: 3, Journal: &journal}, runFn)
+	c2.Add(remaining...)
+	if err := c2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every pair completed exactly once across both runs.
+	if len(completions) != len(tasks) {
+		t.Fatalf("completed %d distinct tasks, want %d", len(completions), len(tasks))
+	}
+	for k, n := range completions {
+		if n != 1 {
+			t.Errorf("task %v completed %d times", k, n)
+		}
+	}
+
+	// The concatenated journal agrees: one final state per pair.
+	full, err := ReadJournal(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Final) != len(tasks) {
+		t.Errorf("journal records %d finished tasks, want %d", len(full.Final), len(tasks))
+	}
+}
+
+// TestPerShardRateLimit is the rate-limiting acceptance criterion: no
+// shard exceeds its token budget in any window while aggregate
+// throughput across shards exceeds any single shard's rate.
+func TestPerShardRateLimit(t *testing.T) {
+	const (
+		shards        = 4
+		tasksPerShard = 8
+		rate          = 40.0 // attempts/sec/shard
+	)
+	var mu sync.Mutex
+	grants := make(map[string][]time.Time)
+	c := New(Config{
+		Workers:    16,
+		ShardRate:  rate,
+		ShardBurst: 1,
+	}, func(ctx context.Context, task Task) error {
+		mu.Lock()
+		grants[task.MTA] = append(grants[task.MTA], time.Now())
+		mu.Unlock()
+		return nil
+	})
+	c.Add(tasksFor(shards, tasksPerShard)...)
+	start := time.Now()
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Per shard: with burst 1, consecutive grants may never be closer
+	// than the refill interval (20% slack for timestamping skew).
+	minGap := time.Duration(0.8 / rate * float64(time.Second))
+	for shard, times := range grants {
+		if len(times) != tasksPerShard {
+			t.Fatalf("shard %s got %d attempts, want %d", shard, len(times), tasksPerShard)
+		}
+		for i := 1; i < len(times); i++ {
+			if gap := times[i].Sub(times[i-1]); gap < minGap {
+				t.Errorf("shard %s: grants %d and %d only %v apart (budget %v)",
+					shard, i-1, i, gap, minGap)
+			}
+		}
+	}
+
+	// Aggregate: all shards pace concurrently, so total throughput
+	// must exceed what a single shard's budget allows.
+	total := shards * tasksPerShard
+	aggregate := float64(total) / elapsed.Seconds()
+	if aggregate <= rate {
+		t.Errorf("aggregate throughput %.1f/s does not exceed single-shard rate %.1f/s", aggregate, rate)
+	}
+	// And each shard alone must have respected its budget overall.
+	perShard := float64(tasksPerShard-1) / elapsed.Seconds()
+	if perShard > rate*1.2 {
+		t.Errorf("per-shard throughput %.1f/s exceeds rate %.1f/s", perShard, rate)
+	}
+}
+
+func TestTokenBucketDeterministic(t *testing.T) {
+	b := newTokenBucket(2, 1) // 2 tokens/sec, burst 1
+	t0 := time.Unix(1000, 0)
+	if !b.take(t0) {
+		t.Fatal("fresh bucket must grant its burst")
+	}
+	if b.take(t0) {
+		t.Fatal("burst-1 bucket granted twice at the same instant")
+	}
+	if w := b.wait(t0); w != 500*time.Millisecond {
+		t.Fatalf("wait = %v, want 500ms", w)
+	}
+	if b.take(t0.Add(200 * time.Millisecond)) {
+		t.Fatal("granted before refill")
+	}
+	if !b.take(t0.Add(700 * time.Millisecond)) {
+		t.Fatal("refused after a full refill interval")
+	}
+	// Burst never exceeds the cap, however long the idle period.
+	b2 := newTokenBucket(2, 3)
+	t1 := t0.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !b2.take(t1) {
+			t.Fatalf("burst grant %d refused", i)
+		}
+	}
+	if b2.take(t1) {
+		t.Fatal("granted beyond burst after idle")
+	}
+	// Unlimited bucket always grants.
+	b3 := newTokenBucket(0, 1)
+	for i := 0; i < 100; i++ {
+		if !b3.take(t0) {
+			t.Fatal("unlimited bucket refused")
+		}
+	}
+}
+
+func TestDefaultClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, Done},
+		{context.Canceled, Aborted},
+		{context.DeadlineExceeded, Aborted},
+		{&smtp.Error{Code: 421, Message: "try later"}, Transient},
+		{&smtp.Error{Code: 450, Message: "greylisted"}, Transient},
+		{&smtp.Error{Code: 550, Message: "no such user"}, Terminal},
+		{&smtp.Error{Code: 554, Message: "blacklisted"}, Terminal},
+		{fmt.Errorf("dial: %w", errConnRefusedForTest()), Transient},
+		{errors.New("malformed address"), Terminal},
+	}
+	for _, tc := range cases {
+		if got := DefaultClassify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestAddIsIdempotentPerKey(t *testing.T) {
+	c := New(Config{Workers: 2}, func(ctx context.Context, task Task) error { return nil })
+	task := Task{MTA: "m0", Test: "t1"}
+	c.Add(task, task)
+	c.Add(task)
+	if got := c.Snapshot().Total; got != 1 {
+		t.Fatalf("duplicate Add produced %d tasks, want 1", got)
+	}
+}
+
+func TestJournalTornTailLine(t *testing.T) {
+	var buf bytes.Buffer
+	j := newJournalWriter(&buf)
+	j.event(event{Ev: evEnqueue, Key: Key{"m0", "t1"}})
+	j.event(event{Ev: evAttempt, Key: Key{"m0", "t1"}, N: 1})
+	j.event(event{Ev: evDone, Key: Key{"m0", "t1"}, N: 1})
+	j.event(event{Ev: evEnqueue, Key: Key{"m1", "t1"}})
+	// Simulate a crash mid-write: truncate the final line.
+	torn := buf.Bytes()[:buf.Len()-9]
+	rp, err := ReadJournal(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail must replay cleanly: %v", err)
+	}
+	if rp.Final[Key{"m0", "t1"}] != StateDone {
+		t.Errorf("finished task lost in torn replay: %+v", rp.Final)
+	}
+	if _, finished := rp.Final[Key{"m1", "t1"}]; finished {
+		t.Error("torn task counted as finished")
+	}
+	if rp.Malformed != 1 {
+		t.Errorf("Malformed = %d, want 1", rp.Malformed)
+	}
+
+	// A file with data but no valid events is not a journal.
+	if _, err := ReadJournal(strings.NewReader("not a journal\nat all\n")); err == nil {
+		t.Error("non-journal input accepted")
+	}
+}
+
+func TestResumeTerminatesTornTail(t *testing.T) {
+	// Crash → resume → crash again: the first resume must terminate the
+	// torn fragment so its own events don't merge with it, or the
+	// second resume cannot replay the journal.
+	path := filepath.Join(t.TempDir(), "camp.jsonl")
+	var buf bytes.Buffer
+	j := newJournalWriter(&buf)
+	j.event(event{Ev: evEnqueue, Key: Key{"m0", "t1"}})
+	j.event(event{Ev: evAttempt, Key: Key{"m0", "t1"}, N: 1})
+	j.event(event{Ev: evDone, Key: Key{"m0", "t1"}, N: 1})
+	j.event(event{Ev: evEnqueue, Key: Key{"m1", "t1"}})
+	torn := buf.Bytes()[:buf.Len()-9] // no trailing newline
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, jf, err := Resume(path)
+	if err != nil {
+		t.Fatalf("first resume: %v", err)
+	}
+	if rp.Final[Key{"m0", "t1"}] != StateDone {
+		t.Fatalf("finished task lost: %+v", rp.Final)
+	}
+	j2 := newJournalWriter(jf)
+	j2.event(event{Ev: evAttempt, Key: Key{"m1", "t1"}, N: 1})
+	// Second crash: close without finishing m1/t1.
+	if err := jf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rp2, jf2, err := Resume(path)
+	if err != nil {
+		t.Fatalf("second resume after terminated torn line: %v", err)
+	}
+	defer jf2.Close()
+	if rp2.Malformed != 1 {
+		t.Errorf("Malformed = %d, want 1 (the terminated fragment)", rp2.Malformed)
+	}
+	if rp2.Final[Key{"m0", "t1"}] != StateDone {
+		t.Errorf("finished task lost on second replay: %+v", rp2.Final)
+	}
+	if rp2.Attempts[Key{"m1", "t1"}] != 1 {
+		t.Errorf("post-resume attempt lost: %+v", rp2.Attempts)
+	}
+	if _, finished := rp2.Final[Key{"m1", "t1"}]; finished {
+		t.Error("unfinished task counted as finished")
+	}
+}

@@ -1,0 +1,213 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// The journal is the campaign's durability mechanism: an append-only
+// JSON-lines file of task state transitions, one event per line,
+// written as each transition happens. A crash loses at most the line
+// in flight; replaying the surviving prefix reconstructs exactly which
+// (MTA, test) pairs reached a final state, so a resumed campaign
+// re-enqueues only unfinished work.
+
+// Journal event kinds.
+const (
+	evEnqueue = "enqueue"
+	evAttempt = "attempt"
+	evRetry   = "retry"
+	evDone    = "done"
+	evFailed  = "failed"
+)
+
+// event is one JSONL journal line.
+type event struct {
+	Time time.Time `json:"t"`
+	Ev   string    `json:"ev"`
+	Key  Key       `json:"k"`
+	// N is the attempt number for attempt/retry/done/failed events.
+	N int `json:"n,omitempty"`
+	// Err carries the failure text on retry/failed events.
+	Err string `json:"err,omitempty"`
+	// DelayMS is the backoff chosen for a retry.
+	DelayMS int64 `json:"delay_ms,omitempty"`
+}
+
+// journalWriter serializes events to the configured sink. A nil sink
+// makes every method a no-op, so journaling is strictly opt-in.
+type journalWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newJournalWriter(w io.Writer) *journalWriter {
+	return &journalWriter{w: w}
+}
+
+// event appends one line. Write errors are swallowed after the first:
+// losing the journal must not take the campaign down with it.
+func (j *journalWriter) event(e event) {
+	if j == nil || j.w == nil {
+		return
+	}
+	e.Time = time.Now()
+	line, err := json.Marshal(&e)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	if _, err := j.w.Write(line); err != nil {
+		j.w = nil
+	}
+	j.mu.Unlock()
+}
+
+// Replay is the durable state recovered from a journal.
+type Replay struct {
+	// Final maps every task that reached a final state to it
+	// (StateDone or StateFailed).
+	Final map[Key]State
+	// Seen holds every task the journal mentions at all, finished or
+	// not — the campaign's known universe at crash time.
+	Seen map[Key]bool
+	// Attempts is the attempt count per task at crash time.
+	Attempts map[Key]int
+	// Events counts journal lines replayed.
+	Events int
+	// Malformed counts unparseable lines skipped during replay — torn
+	// writes from crashes (one can remain mid-file after each
+	// crash-and-resume cycle).
+	Malformed int
+}
+
+// Done and Failed count tasks per final state.
+func (r *Replay) Done() int   { return r.count(StateDone) }
+func (r *Replay) Failed() int { return r.count(StateFailed) }
+
+func (r *Replay) count(s State) int {
+	n := 0
+	for _, st := range r.Final {
+		if st == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Unfinished filters tasks down to those the journal does not record
+// as finished — the work a resumed campaign must still run.
+func (r *Replay) Unfinished(tasks []Task) []Task {
+	out := make([]Task, 0, len(tasks))
+	for _, t := range tasks {
+		if _, finished := r.Final[t.Key()]; !finished {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ReadJournal replays a JSONL journal stream. Unparseable lines are
+// torn crash-time writes: the classic artifact is a truncated final
+// line, but after a crash-and-resume cycle one terminated fragment can
+// also sit mid-file. Both are skipped (and counted in Malformed); a
+// stream with data but no valid events at all is rejected as not a
+// journal.
+func ReadJournal(r io.Reader) (*Replay, error) {
+	rp := &Replay{
+		Final:    make(map[Key]State),
+		Seen:     make(map[Key]bool),
+		Attempts: make(map[Key]int),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e event
+		if err := json.Unmarshal(line, &e); err != nil {
+			rp.Malformed++
+			continue
+		}
+		rp.Events++
+		rp.Seen[e.Key] = true
+		switch e.Ev {
+		case evAttempt:
+			rp.Attempts[e.Key] = e.N
+		case evDone:
+			rp.Final[e.Key] = StateDone
+		case evFailed:
+			rp.Final[e.Key] = StateFailed
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: reading journal: %w", err)
+	}
+	if rp.Events == 0 && rp.Malformed > 0 {
+		return nil, fmt.Errorf("campaign: no valid events in %d lines: not a journal", rp.Malformed)
+	}
+	return rp, nil
+}
+
+// Resume replays the journal at path and reopens it for appending, so
+// a restarted campaign continues the same durable record:
+//
+//	replay, jf, err := campaign.Resume(path)
+//	...
+//	c := campaign.New(campaign.Config{Journal: jf, ...}, run)
+//	c.Add(replay.Unfinished(allTasks)...)
+//
+// A missing file is not an error: the replay is empty and the journal
+// is created, so first runs and resumed runs share one code path.
+func Resume(path string) (*Replay, *os.File, error) {
+	var replay *Replay
+	tornTail := false
+	f, err := os.Open(path)
+	switch {
+	case err == nil:
+		replay, err = ReadJournal(f)
+		if err == nil {
+			// A crash can leave the file without a final newline. New
+			// events must start on their own line, or they merge with
+			// the torn fragment and corrupt the record for the next
+			// replay.
+			var last [1]byte
+			if _, serr := f.Seek(-1, io.SeekEnd); serr == nil {
+				if _, rerr := f.Read(last[:]); rerr == nil && last[0] != '\n' {
+					tornTail = true
+				}
+			}
+		}
+		f.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+	case os.IsNotExist(err):
+		replay = &Replay{
+			Final:    make(map[Key]State),
+			Seen:     make(map[Key]bool),
+			Attempts: make(map[Key]int),
+		}
+	default:
+		return nil, nil, fmt.Errorf("campaign: opening journal: %w", err)
+	}
+	jf, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: appending journal: %w", err)
+	}
+	if tornTail {
+		if _, err := jf.Write([]byte{'\n'}); err != nil {
+			jf.Close()
+			return nil, nil, fmt.Errorf("campaign: terminating torn journal line: %w", err)
+		}
+	}
+	return replay, jf, nil
+}

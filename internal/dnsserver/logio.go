@@ -51,28 +51,47 @@ func (l *QueryLog) WriteJSON(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadLogJSON parses a JSON-lines query log.
-func ReadLogJSON(r io.Reader) ([]LogEntry, error) {
-	var out []LogEntry
-	dec := json.NewDecoder(r)
-	for dec.More() {
+// ForEachLogJSON streams a JSON-lines query log, calling fn once per
+// entry in file order. It decodes one record at a time, so a
+// multi-gigabyte collection log can be analyzed without holding the
+// whole run in memory. A non-nil error from fn stops the scan and is
+// returned unwrapped.
+func ForEachLogJSON(r io.Reader, fn func(LogEntry) error) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for n := 0; dec.More(); n++ {
 		var rec logRecord
 		if err := dec.Decode(&rec); err != nil {
-			return nil, fmt.Errorf("dnsserver: reading log entry %d: %w", len(out), err)
+			return fmt.Errorf("dnsserver: reading log entry %d: %w", n, err)
 		}
 		t, ok := typeByName[rec.Type]
 		if !ok {
-			var n uint16
-			if _, err := fmt.Sscanf(rec.Type, "TYPE%d", &n); err != nil {
-				return nil, fmt.Errorf("dnsserver: log entry %d: unknown type %q", len(out), rec.Type)
+			var v uint16
+			if _, err := fmt.Sscanf(rec.Type, "TYPE%d", &v); err != nil {
+				return fmt.Errorf("dnsserver: log entry %d: unknown type %q", n, rec.Type)
 			}
-			t = dns.Type(n)
+			t = dns.Type(v)
 		}
-		out = append(out, LogEntry{
+		e := LogEntry{
 			Time: rec.Time, Name: rec.Name, Type: t,
 			TestID: rec.TestID, MTAID: rec.MTAID, Rest: rec.Rest,
 			Transport: rec.Transport, OverIPv6: rec.OverIPv6, Remote: rec.Remote,
-		})
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLogJSON parses a JSON-lines query log into memory.
+func ReadLogJSON(r io.Reader) ([]LogEntry, error) {
+	var out []LogEntry
+	err := ForEachLogJSON(r, func(e LogEntry) error {
+		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -3,6 +3,8 @@ package dnsserver
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
 	"net/netip"
 	"strings"
 	"testing"
@@ -156,6 +158,57 @@ func TestQueryLogJSONRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadLogJSON(strings.NewReader(`{"type":"NOTATYPE","name":"x."}`)); err == nil {
 		t.Error("unknown type name accepted")
+	}
+}
+
+func TestForEachLogJSONStreams(t *testing.T) {
+	log := &QueryLog{}
+	for i := 0; i < 5; i++ {
+		log.Append(LogEntry{
+			Name: "t01.m0001.spf-test.example.", Type: dns.TypeTXT,
+			TestID: "t01", MTAID: fmt.Sprintf("m%04d", i),
+		})
+	}
+	var buf bytes.Buffer
+	if err := log.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+
+	// Entries arrive one at a time, in file order.
+	var ids []string
+	err := ForEachLogJSON(strings.NewReader(raw), func(e LogEntry) error {
+		ids = append(ids, e.MTAID)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 || ids[0] != "m0000" || ids[4] != "m0004" {
+		t.Errorf("streamed ids: %v", ids)
+	}
+
+	// A callback error stops the scan and surfaces unwrapped.
+	sentinel := errors.New("stop here")
+	n := 0
+	err = ForEachLogJSON(strings.NewReader(raw), func(LogEntry) error {
+		n++
+		if n == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("callback error not returned: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("scan continued past callback error: %d calls", n)
+	}
+
+	// Malformed input errors with the entry index.
+	err = ForEachLogJSON(strings.NewReader(raw+"{broken"), func(LogEntry) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "entry 5") {
+		t.Errorf("malformed tail: %v", err)
 	}
 }
 

@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	mrand "math/rand"
+	"sync"
+	"time"
+
+	"sendervalid/internal/campaign"
+	"sendervalid/internal/dataset"
+	"sendervalid/internal/probe"
+	"sendervalid/internal/smtp"
+)
+
+// ProbeCampaignOpts configures a durable probe run. The zero value
+// reproduces the historical one-shot behaviour: unlimited per-MTA
+// rate, default worker pool, no journal.
+type ProbeCampaignOpts struct {
+	// Workers caps concurrent probes across the fleet.
+	Workers int
+	// MTARate limits probes/second against any single MTA (the
+	// politeness budget; 0 = unlimited). MTABurst is the bucket
+	// depth (default 1).
+	MTARate  float64
+	MTABurst int
+	// MaxAttempts bounds attempts per (MTA, test) pair; transient
+	// failures (connection refused, timeouts, 4xx greylisting) are
+	// retried with exponential backoff up to this budget.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the retry schedule.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Journal receives the append-only JSONL record of task
+	// transitions (see campaign.Resume).
+	Journal interface{ Write([]byte) (int, error) }
+	// Replay, when resuming, prunes (MTA, test) pairs the journal
+	// already records as finished.
+	Replay *campaign.Replay
+}
+
+// ProbeCampaign is a prepared probe run over every (MTA, test) pair of
+// a world. Its embedded *campaign.Campaign exposes Snapshot for live
+// progress reporting while Run executes.
+type ProbeCampaign struct {
+	*campaign.Campaign
+
+	world *World
+	tests []string
+
+	mu      sync.Mutex
+	results map[campaign.Key]*probe.Result
+}
+
+// NewProbeCampaign builds (without running) a campaign covering the
+// full (MTA, test) cross product, sharded by MTA so no destination is
+// probed concurrently, with MTA order shuffled (paper §5.2).
+func NewProbeCampaign(w *World, tests []string, opts ProbeCampaignOpts) *ProbeCampaign {
+	if len(tests) == 0 {
+		tests = CoreTests
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 32
+	}
+
+	client := &probe.Client{
+		Dialer:     w.Fabric.BoundDialer(ProbeAddr4, ProbeAddr6),
+		Suffix:     DefaultTestSuffix,
+		HeloDomain: "probe.dns-lab.example",
+		HeloTestID: "t03",
+		Timeout:    10 * time.Second,
+	}
+
+	// One recipient domain per MTA: the first domain designating it
+	// (paper §5.2: one recipient domain selected per MTA).
+	recipientDomain := make(map[string]string)
+	for _, d := range w.Population.Domains {
+		for _, m := range d.MTAs {
+			if _, ok := recipientDomain[m.ID]; !ok {
+				recipientDomain[m.ID] = d.Name
+			}
+		}
+	}
+	addrOf := make(map[string]*dataset.MTAInfo, len(w.Population.MTAs))
+	for _, info := range w.Population.MTAs {
+		addrOf[info.ID] = info
+	}
+
+	pc := &ProbeCampaign{
+		world:   w,
+		tests:   tests,
+		results: make(map[campaign.Key]*probe.Result),
+	}
+	pc.Campaign = campaign.New(campaign.Config{
+		Workers:     opts.Workers,
+		ShardRate:   opts.MTARate,
+		ShardBurst:  opts.MTABurst,
+		MaxAttempts: opts.MaxAttempts,
+		BackoffBase: opts.BackoffBase,
+		BackoffMax:  opts.BackoffMax,
+		Seed:        w.cfg.Seed,
+		Journal:     opts.Journal,
+	}, func(ctx context.Context, t campaign.Task) error {
+		info := addrOf[t.MTA]
+		c := *client
+		c.RecipientDomain = recipientDomain[t.MTA]
+		res := c.Probe(ctx, info.Addr4, t.MTA, t.Test)
+		pc.record(t.Key(), res)
+		return probeAttemptErr(res)
+	})
+
+	order := append([]*dataset.MTAInfo(nil), w.Population.MTAs...)
+	mrand.New(mrand.NewSource(w.cfg.Seed^0x5bd1e995)).Shuffle(len(order), func(i, j int) {
+		order[i], order[j] = order[j], order[i]
+	})
+	tasks := make([]campaign.Task, 0, len(order)*len(tests))
+	for _, info := range order {
+		for _, testID := range tests {
+			tasks = append(tasks, campaign.Task{MTA: info.ID, Test: testID})
+		}
+	}
+	if opts.Replay != nil {
+		tasks = opts.Replay.Unfinished(tasks)
+	}
+	pc.Campaign.Add(tasks...)
+	return pc
+}
+
+// record keeps the latest attempt's result per task; a retried
+// attempt's outcome supersedes the transient failure before it.
+func (pc *ProbeCampaign) record(k campaign.Key, res *probe.Result) {
+	pc.mu.Lock()
+	pc.results[k] = res
+	pc.mu.Unlock()
+}
+
+// probeAttemptErr converts a probe outcome into the campaign's
+// attempt-error contract. Completed dialogues and 5xx rejections are
+// measurement outcomes — the task is done, whatever the MTA said.
+// Transport failures, cancellations, and 4xx replies surface as errors
+// for the scheduler to classify and retry.
+func probeAttemptErr(res *probe.Result) error {
+	if res.Err == nil {
+		return nil
+	}
+	var smtpErr *smtp.Error
+	if errors.As(res.Err, &smtpErr) && smtpErr.Permanent() {
+		return nil
+	}
+	return res.Err
+}
+
+// Run executes the campaign and assembles the ProbeRun. On
+// cancellation the partial results collected so far are returned with
+// the context error; the journal (if any) lets a later run resume.
+func (pc *ProbeCampaign) Run(ctx context.Context) (*ProbeRun, error) {
+	run := &ProbeRun{Tests: pc.tests, Started: time.Now()}
+	err := pc.Campaign.Run(ctx)
+	pc.world.Quiesce()
+	pc.mu.Lock()
+	run.Results = make(map[string][]*probe.Result, len(pc.results))
+	for k, res := range pc.results {
+		run.Results[k.MTA] = append(run.Results[k.MTA], res)
+	}
+	pc.mu.Unlock()
+	run.Finished = time.Now()
+	return run, err
+}

@@ -2,9 +2,7 @@ package experiment
 
 import (
 	"context"
-	mrand "math/rand"
 	"strings"
-	"sync"
 	"time"
 
 	"sendervalid/internal/dataset"
@@ -44,72 +42,11 @@ type ProbeRun struct {
 // RunProbes executes the probe experiment against every MTA in the
 // population: all test policies per MTA, MTA order shuffled (paper
 // §5.2), bounded worker concurrency, and the probing client pinned to
-// its (blacklisted) source addresses.
+// its (blacklisted) source addresses. It is a thin wrapper over a
+// campaign with the historical defaults (no rate limit, no journal);
+// NewProbeCampaign exposes the durable, rate-limited form.
 func RunProbes(ctx context.Context, w *World, tests []string, workers int) *ProbeRun {
-	if len(tests) == 0 {
-		tests = CoreTests
-	}
-	if workers <= 0 {
-		workers = 32
-	}
-	client := &probe.Client{
-		Dialer:          w.Fabric.BoundDialer(ProbeAddr4, ProbeAddr6),
-		Suffix:          DefaultTestSuffix,
-		HeloDomain:      "probe.dns-lab.example",
-		RecipientDomain: "", // set per MTA below via recipientDomain
-		HeloTestID:      "t03",
-		Timeout:         10 * time.Second,
-	}
-
-	run := &ProbeRun{
-		Results: make(map[string][]*probe.Result, len(w.Population.MTAs)),
-		Tests:   tests,
-		Started: time.Now(),
-	}
-
-	// One recipient domain per MTA: the first domain designating it
-	// (paper §5.2: one recipient domain selected per MTA).
-	recipientDomain := make(map[string]string)
-	for _, d := range w.Population.Domains {
-		for _, m := range d.MTAs {
-			if _, ok := recipientDomain[m.ID]; !ok {
-				recipientDomain[m.ID] = d.Name
-			}
-		}
-	}
-
-	order := append([]*dataset.MTAInfo(nil), w.Population.MTAs...)
-	mrand.New(mrand.NewSource(w.cfg.Seed^0x5bd1e995)).Shuffle(len(order), func(i, j int) {
-		order[i], order[j] = order[j], order[i]
-	})
-
-	var mu sync.Mutex
-	jobs := make(chan *dataset.MTAInfo)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for info := range jobs {
-				c := *client
-				c.RecipientDomain = recipientDomain[info.ID]
-				results := c.ProbeAll(ctx, info.Addr4, info.ID, tests)
-				mu.Lock()
-				run.Results[info.ID] = results
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, info := range order {
-		if ctx.Err() != nil {
-			break
-		}
-		jobs <- info
-	}
-	close(jobs)
-	wg.Wait()
-	w.Quiesce()
-	run.Finished = time.Now()
+	run, _ := NewProbeCampaign(w, tests, ProbeCampaignOpts{Workers: workers}).Run(ctx)
 	return run
 }
 

@@ -51,14 +51,15 @@ type Config struct {
 
 // Stats counts an MTA's activity.
 type Stats struct {
-	Sessions         int
-	RejectedSessions int
-	SPFChecks        int
-	HELOChecks       int
-	DKIMChecks       int
-	DMARCChecks      int
-	MessagesAccepted int
-	MessagesRejected int
+	Sessions           int
+	RejectedSessions   int
+	TempfailedSessions int
+	SPFChecks          int
+	HELOChecks         int
+	DKIMChecks         int
+	DMARCChecks        int
+	MessagesAccepted   int
+	MessagesRejected   int
 }
 
 // MTA is one simulated receiving mail server.
@@ -173,7 +174,14 @@ func (m *MTA) bump(f func(*Stats)) {
 // --- SMTP hooks ---
 
 func (m *MTA) onConnect(s *smtp.Session) *smtp.Reply {
-	m.bump(func(st *Stats) { st.Sessions++ })
+	m.mu.Lock()
+	m.stats.Sessions++
+	n := m.stats.Sessions
+	m.mu.Unlock()
+	if tf := m.cfg.Profile.TempfailSessions; tf > 0 && n <= tf {
+		m.bump(func(st *Stats) { st.TempfailedSessions++ })
+		return &smtp.Reply{Code: 421, Text: m.cfg.Hostname + " greylisted, try again later"}
+	}
 	if m.cfg.Profile.RejectProbe && m.blacklisted(s.ClientIP) {
 		m.bump(func(st *Stats) { st.RejectedSessions++ })
 		return &smtp.Reply{Code: 554, Text: m.cfg.Profile.RejectText}

@@ -57,6 +57,12 @@ type Profile struct {
 	// tolerance, prefetch parallelism, …).
 	SPFOptions spf.Options
 
+	// TempfailSessions greets each client's first N sessions with a
+	// 421 transient reply before behaving normally — greylisting, the
+	// common real-world defence that forces legitimate senders to
+	// retry. Campaigns exercise their retry discipline against it.
+	TempfailSessions int
+
 	// RejectProbe rejects sessions at connect time with a
 	// spam/blacklist message, as 28% of NotifyMX MTAs did (§6.2).
 	RejectProbe bool

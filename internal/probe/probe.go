@@ -104,7 +104,13 @@ func (c *Client) recipients() []string {
 	return DefaultRecipients
 }
 
+// sleep pauses before the next command, aborting promptly when the
+// context is cancelled — a cancelled campaign must stop within one
+// step, not finish the full EHLO→DATA walk.
 func (c *Client) sleep(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if c.Sleep <= 0 {
 		return nil
 	}
@@ -119,6 +125,10 @@ func (c *Client) sleep(ctx context.Context) error {
 // Probe runs one test policy against the MTA at addr.
 func (c *Client) Probe(ctx context.Context, addr netip.Addr, mtaID, testID string) *Result {
 	res := &Result{MTAID: mtaID, TestID: testID, Stage: StageConnect}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
 	target := netip.AddrPortFrom(addr, 25).String()
 
 	cl, err := smtp.Dial(ctx, c.Dialer, target)
@@ -140,6 +150,10 @@ func (c *Client) Probe(ctx context.Context, addr netip.Addr, mtaID, testID strin
 		helo = fmt.Sprintf("helo.%s.%s.%s", testID, mtaID, strings.TrimSuffix(c.Suffix, "."))
 	}
 	res.Stage = StageHelo
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
 	if err := cl.Hello(helo); err != nil {
 		res.Err = err
 		fillReply(res, err)
@@ -164,6 +178,10 @@ func (c *Client) Probe(ctx context.Context, addr netip.Addr, mtaID, testID strin
 	res.Stage = StageRcpt
 	var rcptErr error
 	for _, user := range c.recipients() {
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
 		to := user + "@" + c.RecipientDomain
 		if rcptErr = cl.Rcpt(to); rcptErr == nil {
 			res.Recipient = to

@@ -391,3 +391,57 @@ func TestSenderNoRetryOnPermanentFailure(t *testing.T) {
 		t.Errorf("5xx retried: %d attempts", attempts)
 	}
 }
+
+func TestProbeStopsWithinOneStepOnCancel(t *testing.T) {
+	fabric := netsim.NewFabric()
+	var mu sync.Mutex
+	var sawMail bool
+	scriptedMTA(t, fabric, "10.1.0.14", smtp.Handler{
+		OnMail: func(s *smtp.Session, from string) *smtp.Reply {
+			mu.Lock()
+			sawMail = true
+			mu.Unlock()
+			return nil
+		},
+	})
+	c := &Client{
+		Dialer: fabric, Suffix: "x.example", HeloDomain: "h.example",
+		RecipientDomain: "y.example",
+		Sleep:           2 * time.Second, // paper pacing: 15 s between commands
+		Timeout:         5 * time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+	start := time.Now()
+	res := c.Probe(ctx, netip.MustParseAddr("10.1.0.14"), "m1", "t01")
+	elapsed := time.Since(start)
+
+	if res.Err == nil || !strings.Contains(res.Err.Error(), context.Canceled.Error()) {
+		t.Fatalf("cancelled probe returned %+v", res)
+	}
+	// The cancel lands in the pre-MAIL sleep: the probe must abandon
+	// the walk there instead of finishing EHLO→DATA (which would take
+	// three full sleeps).
+	if elapsed > time.Second {
+		t.Errorf("cancelled probe took %v, want well under one sleep interval", elapsed)
+	}
+	if res.Stage != StageHelo {
+		t.Errorf("probe reached stage %s, want abandonment after %s", res.Stage, StageHelo)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if sawMail {
+		t.Error("MTA saw MAIL FROM after cancellation")
+	}
+}
+
+func TestProbeCancelledBeforeDial(t *testing.T) {
+	fabric := netsim.NewFabric()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Client{Dialer: fabric, Suffix: "x.example", HeloDomain: "h.example"}
+	res := c.Probe(ctx, netip.MustParseAddr("10.1.0.15"), "m1", "t01")
+	if res.Stage != StageConnect || res.Err == nil {
+		t.Fatalf("pre-cancelled probe: %+v", res)
+	}
+}
