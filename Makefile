@@ -1,11 +1,16 @@
-# Development entry points. `make check` is the gate: vet, build, and
-# the full test suite under the race detector.
+# Development entry points. `make check` is the gate: vet, build, the
+# full test suite under the race detector, and a replay of the fuzz
+# seed corpora. `make chaos` runs the seeded chaos suite on its own.
 
 GO ?= go
 
-.PHONY: check vet build test bench
+# Seed for the chaos suite. Every chaos test logs the seed it ran
+# with; reproduce a failure with `make chaos CHAOS_SEED=<seed>`.
+CHAOS_SEED ?= 42
 
-check: vet build test
+.PHONY: check vet build test fuzz-seeds chaos bench
+
+check: vet build test fuzz-seeds
 
 vet:
 	$(GO) vet ./...
@@ -15,6 +20,20 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# Replay the checked-in fuzz seed corpora (no exploration; that's
+# `go test -fuzz=<target>` run by hand).
+fuzz-seeds:
+	$(GO) test -run '^Fuzz' ./...
+
+# The chaos suite: seeded fault injection through netsim plus the
+# serving-path robustness tests, all under the race detector.
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 \
+		-run 'TestChaos|TestPipeConn' -v ./internal/netsim/
+	$(GO) test -race -count=1 \
+		-run 'Panic|RateLimit|TCPServer|Retry|AsyncLog|Evict|Shed|LineTooLong|PolicyRejections' \
+		./internal/dns/ ./internal/dnsserver/ ./internal/smtp/ ./internal/resolver/
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x .

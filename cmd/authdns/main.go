@@ -34,6 +34,9 @@ func main() {
 		sender4   = flag.String("sender4", "203.0.113.10", "sending MTA IPv4 (authorized by NotifyEmail SPF)")
 		sender6   = flag.String("sender6", "2001:db8:1::10", "sending MTA IPv6")
 		quiet     = flag.Bool("quiet", false, "suppress per-query log lines")
+		maxQPS    = flag.Float64("max-qps", 0, "per-source query rate limit (REFUSED above it); 0 disables")
+		burst     = flag.Int("burst", 0, "per-source rate-limit burst (0 = default 8)")
+		logBuffer = flag.Int("log-buffer", 4096, "query-log buffer depth; full buffers drop (and count) entries instead of blocking the serving path")
 	)
 	flag.Parse()
 
@@ -46,9 +49,15 @@ func main() {
 		TimeScale: *timeScale,
 	}
 	log := &dnsserver.QueryLog{}
+	asyncLog := dnsserver.NewAsyncLog(log, *logBuffer)
 	srv := &dnsserver.Server{
-		Addr4: *addr,
-		Addr6: *addr6,
+		Addr4:           *addr,
+		Addr6:           *addr6,
+		MaxQPSPerSource: *maxQPS,
+		BurstPerSource:  *burst,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "authdns: "+format+"\n", args...)
+		},
 		Zones: []*dnsserver.Zone{
 			{
 				Suffix:     *suffix + ".",
@@ -62,7 +71,7 @@ func main() {
 				Default:    notifyCfg.Responder(),
 			},
 		},
-		Log: log,
+		Log: asyncLog,
 	}
 	bound, err := srv.Start()
 	if err != nil {
@@ -94,10 +103,12 @@ func main() {
 			}
 			printed = len(entries)
 		case <-stop:
-			fmt.Printf("authdns: %d queries served, shutting down\n", log.Len())
 			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 			defer cancel()
 			_ = srv.Shutdown(ctx)
+			asyncLog.Close()
+			fmt.Printf("authdns: %d queries logged (%d dropped from log buffer), %d refused by rate limit, %d responder panics recovered; shutting down\n",
+				log.Len(), asyncLog.Dropped(), srv.Refused(), srv.Panics())
 			return
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,6 +42,12 @@ type HandlerFunc func(w ResponseWriter, r *Request)
 func (f HandlerFunc) ServeDNS(w ResponseWriter, r *Request) { f(w, r) }
 
 // Server serves DNS over both UDP and TCP on the same address.
+//
+// The serving path degrades instead of dying: handler panics are
+// recovered into SERVFAIL responses, per-source rate limiting (when
+// configured) answers floods with REFUSED, and the accept/read loops
+// back off on transient errors (EMFILE-class descriptor exhaustion)
+// instead of spinning or exiting.
 type Server struct {
 	// Addr is the listen address, e.g. "127.0.0.1:0".
 	Addr string
@@ -48,6 +55,15 @@ type Server struct {
 	Handler Handler
 	// ReadTimeout bounds TCP connection idle time. Zero means 10s.
 	ReadTimeout time.Duration
+	// MaxQPSPerSource, when positive, rate-limits queries per client
+	// IP with a token bucket; queries over budget receive REFUSED so
+	// a well-behaved resolver backs off rather than timing out.
+	MaxQPSPerSource float64
+	// BurstPerSource is the per-source token-bucket depth. Zero means 8.
+	BurstPerSource int
+	// Logf, when set, receives diagnostics for recovered panics and
+	// degraded-mode events. Nil discards them.
+	Logf func(format string, args ...any)
 
 	mu       sync.Mutex
 	pc       net.PacketConn
@@ -55,6 +71,11 @@ type Server struct {
 	started  bool
 	shutdown chan struct{}
 	wg       sync.WaitGroup
+
+	limiter *RateLimiter
+
+	panics  atomic.Uint64
+	refused atomic.Uint64
 }
 
 // ErrServerStarted is returned when a server is started twice.
@@ -100,6 +121,9 @@ func (s *Server) Start() (net.Addr, error) {
 	s.pc, s.ln = pc, ln
 	s.shutdown = make(chan struct{})
 	s.started = true
+	if s.MaxQPSPerSource > 0 {
+		s.limiter = NewRateLimiter(s.MaxQPSPerSource, s.BurstPerSource)
+	}
 	s.wg.Add(2)
 	go s.serveUDP(pc)
 	go s.serveTCP(ln)
@@ -152,17 +176,101 @@ func (s *Server) closing() bool {
 
 const maxUDPQuery = 4096
 
+// Panics returns the number of handler panics recovered into SERVFAIL
+// responses since Start.
+func (s *Server) Panics() uint64 { return s.panics.Load() }
+
+// Refused returns the number of queries answered REFUSED by the
+// per-source rate limiter since Start.
+func (s *Server) Refused() uint64 { return s.refused.Load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// backoff sleeps for the current retry delay (interruptible by
+// shutdown) and returns the next one: 5ms doubling to 1s, the
+// accept-loop discipline net/http uses for EMFILE-class errors.
+func (s *Server) backoff(delay time.Duration) time.Duration {
+	if delay == 0 {
+		delay = 5 * time.Millisecond
+	} else if delay *= 2; delay > time.Second {
+		delay = time.Second
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.shutdown:
+	}
+	return delay
+}
+
+// overLimit consults the per-source limiter; when the source is over
+// budget it writes a REFUSED reply (if the query parses) and reports
+// true.
+func (s *Server) overLimit(raddr net.Addr, now time.Time) bool {
+	if s.limiter == nil {
+		return false
+	}
+	if s.limiter.Allow(sourceKey(raddr), now) {
+		return false
+	}
+	s.refused.Add(1)
+	return true
+}
+
+// serveRequest dispatches one request to the handler, converting a
+// panic into a SERVFAIL response so one malformed or adversarial query
+// cannot take the server down mid-sweep.
+func (s *Server) serveRequest(w ResponseWriter, r *Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			s.logf("dns: handler panic serving %s from %s: %v", describeQuery(r.Msg), r.RemoteAddr, v)
+			resp := new(Message).SetReply(r.Msg)
+			resp.RCode = RCodeServerFailure
+			_ = w.WriteMsg(resp)
+		}
+	}()
+	s.Handler.ServeDNS(w, r)
+}
+
+// describeQuery renders the question for panic diagnostics without
+// risking a second panic on a degenerate message.
+func describeQuery(m *Message) string {
+	if m == nil || len(m.Questions) == 0 {
+		return "<no question>"
+	}
+	q := m.Questions[0]
+	return fmt.Sprintf("%s %s", q.Name, q.Type)
+}
+
+// refuse writes a REFUSED reply for a rate-limited query.
+func refuse(w ResponseWriter, msg *Message) {
+	resp := new(Message).SetReply(msg)
+	resp.RCode = RCodeRefused
+	_ = w.WriteMsg(resp)
+}
+
 func (s *Server) serveUDP(pc net.PacketConn) {
 	defer s.wg.Done()
 	buf := make([]byte, maxUDPQuery)
+	var delay time.Duration
 	for {
 		n, raddr, err := pc.ReadFrom(buf)
 		if err != nil {
 			if s.closing() {
 				return
 			}
+			// Transient socket errors (buffer pressure, ICMP-borne
+			// errors): back off instead of spinning on the error.
+			delay = s.backoff(delay)
 			continue
 		}
+		delay = 0
 		received := time.Now()
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
@@ -180,7 +288,11 @@ func (s *Server) handlePacket(pc net.PacketConn, raddr net.Addr, pkt []byte, rec
 		return
 	}
 	w := &udpResponseWriter{pc: pc, raddr: raddr, maxSize: msg.EDNSUDPSize()}
-	s.Handler.ServeDNS(w, &Request{
+	if s.overLimit(raddr, received) {
+		refuse(w, msg)
+		return
+	}
+	s.serveRequest(w, &Request{
 		Msg:        msg,
 		RemoteAddr: raddr,
 		Transport:  "udp",
@@ -190,14 +302,19 @@ func (s *Server) handlePacket(pc net.PacketConn, raddr net.Addr, pkt []byte, rec
 
 func (s *Server) serveTCP(ln net.Listener) {
 	defer s.wg.Done()
+	var delay time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			if s.closing() {
 				return
 			}
+			// EMFILE-class and other transient accept failures: back
+			// off so the process sheds load instead of hot-looping.
+			delay = s.backoff(delay)
 			continue
 		}
+		delay = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -224,7 +341,11 @@ func (s *Server) handleTCPConn(conn net.Conn) {
 			return
 		}
 		w := &tcpResponseWriter{conn: conn}
-		s.Handler.ServeDNS(w, &Request{
+		if s.overLimit(conn.RemoteAddr(), received) {
+			refuse(w, msg)
+			continue
+		}
+		s.serveRequest(w, &Request{
 			Msg:        msg,
 			RemoteAddr: conn.RemoteAddr(),
 			Transport:  "tcp",

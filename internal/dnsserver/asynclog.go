@@ -1,0 +1,117 @@
+package dnsserver
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// AsyncLog decouples query logging from query serving. Append never
+// blocks: entries go into a bounded buffer drained by a background
+// goroutine into the wrapped sink, and when the buffer is full —
+// logging backpressure, a stalled disk — the entry is counted as
+// dropped instead of stalling the serving path. A week-long sweep
+// would rather lose log lines than stop answering; the Dropped counter
+// makes every lost line accountable in the analysis.
+type AsyncLog struct {
+	sink Sink
+	ch   chan LogEntry
+
+	appended atomic.Uint64
+	dropped  atomic.Uint64
+
+	once sync.Once
+	done chan struct{}
+}
+
+// NewAsyncLog wraps sink with a non-blocking bounded buffer of the
+// given depth (<= 0 means 4096) and starts the drain goroutine. Close
+// must be called to flush and stop it.
+func NewAsyncLog(sink Sink, buffer int) *AsyncLog {
+	if buffer <= 0 {
+		buffer = 4096
+	}
+	a := &AsyncLog{
+		sink: sink,
+		ch:   make(chan LogEntry, buffer),
+		done: make(chan struct{}),
+	}
+	go a.drain()
+	return a
+}
+
+func (a *AsyncLog) drain() {
+	defer close(a.done)
+	for e := range a.ch {
+		a.sink.Append(e)
+	}
+}
+
+// Append implements Sink without ever blocking. Entries that do not
+// fit in the buffer are dropped and counted.
+func (a *AsyncLog) Append(e LogEntry) {
+	a.appended.Add(1)
+	select {
+	case a.ch <- e:
+	default:
+		a.dropped.Add(1)
+	}
+}
+
+// Appended returns the number of entries offered to the log (delivered
+// plus dropped).
+func (a *AsyncLog) Appended() uint64 { return a.appended.Load() }
+
+// Dropped returns the number of entries lost to a full buffer.
+func (a *AsyncLog) Dropped() uint64 { return a.dropped.Load() }
+
+// Close stops accepting entries, flushes the buffer into the sink, and
+// waits for the drain goroutine. Appends racing Close may panic on the
+// closed channel, so stop the server before closing its log.
+func (a *AsyncLog) Close() {
+	a.once.Do(func() { close(a.ch) })
+	<-a.done
+}
+
+// WriterSink streams entries to w as JSON lines — the blocking disk
+// sink AsyncLog is designed to wrap. It is safe for concurrent use.
+type WriterSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewWriterSink buffers writes to w.
+func NewWriterSink(w io.Writer) *WriterSink {
+	bw := bufio.NewWriter(w)
+	return &WriterSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Append implements Sink. Encoding errors are sticky and surfaced by
+// Flush.
+func (s *WriterSink) Append(e LogEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	rec := logRecord{
+		Time: e.Time, Name: e.Name, Type: e.Type.String(),
+		TestID: e.TestID, MTAID: e.MTAID, Rest: e.Rest,
+		Transport: e.Transport, OverIPv6: e.OverIPv6, Remote: e.Remote,
+	}
+	s.err = s.enc.Encode(&rec)
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (s *WriterSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}

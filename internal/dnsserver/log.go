@@ -41,6 +41,13 @@ type LogEntry struct {
 	Remote string
 }
 
+// Sink consumes query-log entries. QueryLog is the in-memory
+// implementation; AsyncLog decouples a slow sink (a disk writer) from
+// the serving path.
+type Sink interface {
+	Append(LogEntry)
+}
+
 // QueryLog is a concurrency-safe, append-only query record.
 type QueryLog struct {
 	mu      sync.Mutex

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sendervalid/internal/dns"
@@ -128,11 +129,23 @@ type Server struct {
 	Addr6 string
 	// TTL is the answer TTL. Defaults to 60.
 	TTL uint32
-	// Log records every query. A nil log disables recording.
-	Log *QueryLog
+	// Log records every query: a *QueryLog for in-memory collection,
+	// or an *AsyncLog wrapping a disk sink so logging backpressure can
+	// never stall query serving. A nil log disables recording.
+	Log Sink
+	// MaxQPSPerSource and BurstPerSource configure the underlying
+	// endpoints' per-source rate limiting (REFUSED over budget); zero
+	// disables it.
+	MaxQPSPerSource float64
+	BurstPerSource  int
+	// Logf receives diagnostics (recovered responder panics). Nil
+	// discards them.
+	Logf func(format string, args ...any)
 
 	srv4 *dns.Server
 	srv6 *dns.Server
+
+	panics atomic.Uint64
 }
 
 // Start binds the endpoints and begins serving. It returns the bound
@@ -142,19 +155,57 @@ func (s *Server) Start() (net.Addr, error) {
 	if addr4 == "" {
 		addr4 = "127.0.0.1:0"
 	}
-	s.srv4 = &dns.Server{Addr: addr4, Handler: s.handler(false)}
+	s.srv4 = s.endpoint(addr4, false)
 	bound, err := s.srv4.Start()
 	if err != nil {
 		return nil, err
 	}
 	if s.Addr6 != "" {
-		s.srv6 = &dns.Server{Addr: s.Addr6, Handler: s.handler(true)}
+		s.srv6 = s.endpoint(s.Addr6, true)
 		if _, err := s.srv6.Start(); err != nil {
 			_ = s.srv4.Shutdown(context.Background())
 			return nil, err
 		}
 	}
 	return bound, nil
+}
+
+// endpoint builds one transport endpoint with the server's hardening
+// configuration applied.
+func (s *Server) endpoint(addr string, v6 bool) *dns.Server {
+	return &dns.Server{
+		Addr:            addr,
+		Handler:         s.handler(v6),
+		MaxQPSPerSource: s.MaxQPSPerSource,
+		BurstPerSource:  s.BurstPerSource,
+		Logf:            s.Logf,
+	}
+}
+
+// Panics returns the number of responder panics recovered into
+// SERVFAIL answers since Start, summed with the endpoints' own
+// recovered handler panics.
+func (s *Server) Panics() uint64 {
+	n := s.panics.Load()
+	if s.srv4 != nil {
+		n += s.srv4.Panics()
+	}
+	if s.srv6 != nil {
+		n += s.srv6.Panics()
+	}
+	return n
+}
+
+// Refused returns the number of rate-limited queries across endpoints.
+func (s *Server) Refused() uint64 {
+	var n uint64
+	if s.srv4 != nil {
+		n += s.srv4.Refused()
+	}
+	if s.srv6 != nil {
+		n += s.srv6.Refused()
+	}
+	return n
 }
 
 // Addr returns the bound IPv4 endpoint, or nil before Start.
@@ -257,7 +308,7 @@ func (s *Server) handler(v6 bool) dns.Handler {
 			return
 		}
 
-		shaped := responder.Respond(q)
+		shaped := s.respond(responder, q)
 		if shaped.Drop {
 			return
 		}
@@ -282,6 +333,24 @@ func (s *Server) handler(v6 bool) dns.Handler {
 		}
 		_ = w.WriteMsg(resp)
 	})
+}
+
+// respond invokes the responder, recovering a panic into a SERVFAIL
+// answer so one malformed or adversarial query name cannot kill the
+// authoritative server mid-sweep. The panic is logged with the query's
+// (testid, mtaid) attribution so the offending input is recoverable
+// from the diagnostics alone.
+func (s *Server) respond(responder Responder, q *Query) (shaped Response) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			if s.Logf != nil {
+				s.Logf("dnsserver: responder panic on %s: %v", q, v)
+			}
+			shaped = Response{RCode: dns.RCodeServerFailure}
+		}
+	}()
+	return responder.Respond(q)
 }
 
 func (s *Server) soa(z *Zone) dns.RR {

@@ -97,7 +97,7 @@ func TestSynthesizedIncludeChain(t *testing.T) {
 	}
 
 	// The log attributes every query.
-	entries := srv.Log.Entries()
+	entries := srv.Log.(*QueryLog).Entries()
 	if len(entries) != 4 {
 		t.Fatalf("logged %d queries, want 4", len(entries))
 	}
@@ -151,7 +151,7 @@ func TestTruncateUDPForcesTCP(t *testing.T) {
 		t.Errorf("TCP retry failed: %s", resp)
 	}
 	transports := []string{}
-	for _, e := range srv.Log.Entries() {
+	for _, e := range srv.Log.(*QueryLog).Entries() {
 		transports = append(transports, e.Transport)
 	}
 	if len(transports) != 2 || transports[0] != "udp" || transports[1] != "tcp" {
@@ -262,7 +262,7 @@ func TestSingleLabelZone(t *testing.T) {
 	if !strings.Contains(payload, "a:mta.d0007.") {
 		t.Errorf("single-label synthesis: %q", payload)
 	}
-	e := srv.Log.Entries()[0]
+	e := srv.Log.(*QueryLog).Entries()[0]
 	if e.MTAID != "d0007" || e.TestID != "" {
 		t.Errorf("single-label attribution: %+v", e)
 	}

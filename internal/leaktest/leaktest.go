@@ -1,0 +1,132 @@
+// Package leaktest asserts that a test leaves no goroutines behind —
+// the invariant every chaos run checks: a server that survives faults
+// but leaks a goroutine per fault is still dying, just slowly.
+package leaktest
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check snapshots the interesting goroutines now and returns a
+// function that fails t if, after a grace period for orderly winddown,
+// goroutines not present in the snapshot are still running. Use it at
+// the top of a test:
+//
+//	defer leaktest.Check(t)()
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := interesting()
+	return func() {
+		t.Helper()
+		// Winding-down goroutines (deferred closes, drain loops) get a
+		// grace period before being declared leaked.
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("leaktest: %d goroutine(s) leaked:\n%s",
+			len(leaked), strings.Join(leaked, "\n---\n"))
+	}
+}
+
+// leakedSince returns the interesting goroutine stacks not in before.
+func leakedSince(before map[string]int) []string {
+	var leaked []string
+	counts := make(map[string]int)
+	for _, g := range interestingStacks() {
+		key := stackKey(g)
+		counts[key]++
+		if counts[key] > before[key] {
+			leaked = append(leaked, g)
+		}
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// interesting returns a multiset of current goroutine identities.
+func interesting() map[string]int {
+	out := make(map[string]int)
+	for _, g := range interestingStacks() {
+		out[stackKey(g)]++
+	}
+	return out
+}
+
+// interestingStacks dumps all goroutines and filters out the runtime,
+// testing machinery, and this checker itself.
+func interestingStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || !isInteresting(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func isInteresting(stack string) bool {
+	// The checker's own goroutine is never a leak, and its stack shape
+	// differs between the snapshot and the final check.
+	if strings.Contains(stack, "internal/leaktest") {
+		return false
+	}
+	for _, boring := range []string{
+		"testing.Main(",
+		"testing.tRunner(",
+		"testing.(*T).Run(",
+		"testing.runFuzzing(",
+		"created by runtime",
+		"signal.signal_recv",
+	} {
+		if strings.Contains(stack, boring) {
+			return false
+		}
+	}
+	return true
+}
+
+// stackKey reduces a goroutine dump to a comparable identity: its
+// frames without goroutine IDs, argument values, or pointers.
+func stackKey(stack string) string {
+	lines := strings.Split(stack, "\n")
+	var key []string
+	for _, line := range lines {
+		if strings.HasPrefix(line, "goroutine ") {
+			continue
+		}
+		// File:line rows keep only the location; frame rows drop
+		// argument values.
+		line = strings.TrimSpace(line)
+		if i := strings.IndexByte(line, '('); i > 0 && !strings.HasPrefix(line, "/") {
+			line = line[:i]
+		}
+		if i := strings.Index(line, " +0x"); i > 0 {
+			line = line[:i]
+		}
+		key = append(key, line)
+	}
+	return strings.Join(key, "|")
+}

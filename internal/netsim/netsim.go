@@ -15,16 +15,27 @@ import (
 	"io"
 	"net"
 	"net/netip"
+	"os"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
-// Errors returned by the fabric.
+// Errors returned by the fabric. ErrConnRefused, ErrConnReset, and
+// ErrDeadlineExceeded wrap their syscall/os counterparts so transport
+// code written against real sockets classifies fabric failures the
+// same way (errors.Is against syscall.ECONNREFUSED, syscall.ECONNRESET,
+// os.ErrDeadlineExceeded).
 var (
 	ErrAddrInUse        = errors.New("netsim: address already in use")
-	ErrConnRefused      = errors.New("netsim: connection refused")
+	ErrConnRefused      = fmt.Errorf("netsim: %w", syscall.ECONNREFUSED)
+	ErrConnReset        = fmt.Errorf("netsim: %w", syscall.ECONNRESET)
 	ErrListenerClosed   = errors.New("netsim: listener closed")
-	ErrDeadlineExceeded = errors.New("netsim: i/o deadline exceeded")
+	ErrDeadlineExceeded = fmt.Errorf("netsim: %w", os.ErrDeadlineExceeded)
+	// ErrLinkDown reports a dial attempted while the link is inside a
+	// fault-profile flap window.
+	ErrLinkDown = fmt.Errorf("netsim: link down: %w", syscall.ECONNREFUSED)
 )
 
 // Fabric routes connections between simulated addresses.
@@ -38,6 +49,14 @@ type Fabric struct {
 	// latency is the one-way delivery delay applied to connection
 	// establishment (not per-byte).
 	latency time.Duration
+
+	// Chaos state: per-link fault profiles (keyed by remote address),
+	// the default profile for unlisted links, and the seed/epoch that
+	// make fault schedules reproducible (see fault.go).
+	faults        map[netip.Addr]*linkFaults
+	defaultFaults *FaultProfile
+	chaosSeed     int64
+	chaosEpoch    time.Time
 }
 
 // NewFabric creates an empty fabric.
@@ -45,6 +64,7 @@ func NewFabric() *Fabric {
 	return &Fabric{
 		listeners:   make(map[netip.AddrPort]*Listener),
 		unreachable: make(map[netip.Addr]bool),
+		faults:      make(map[netip.Addr]*linkFaults),
 		nextEphem:   32768,
 	}
 }
@@ -87,6 +107,13 @@ func (f *Fabric) Listen(addr netip.AddrPort) (*Listener, error) {
 // Dial connects from the given local address to remote. A zero local
 // port is replaced with an ephemeral one.
 func (f *Fabric) Dial(ctx context.Context, local, remote netip.AddrPort) (net.Conn, error) {
+	return f.dial(ctx, local, remote, false)
+}
+
+// dial establishes a connection, applying the link's fault profile.
+// datagram marks the connection as message-oriented ("udp"), which
+// makes it subject to probabilistic loss but exempt from chunking.
+func (f *Fabric) dial(ctx context.Context, local, remote netip.AddrPort, datagram bool) (net.Conn, error) {
 	f.mu.Lock()
 	if local.Port() == 0 {
 		f.nextEphem++
@@ -100,6 +127,16 @@ func (f *Fabric) Dial(ctx context.Context, local, remote netip.AddrPort) (net.Co
 	latency := f.latency
 	f.mu.Unlock()
 
+	faults := f.faultsFor(remote.Addr())
+	if faults != nil {
+		if faults.down(time.Now()) {
+			return nil, fmt.Errorf("%w: %s", ErrLinkDown, remote)
+		}
+		if faults.roll(faults.profile.DialFailure) {
+			return nil, fmt.Errorf("%w: %s", ErrConnRefused, remote)
+		}
+		latency += faults.jitter()
+	}
 	if latency > 0 {
 		select {
 		case <-time.After(latency):
@@ -112,6 +149,8 @@ func (f *Fabric) Dial(ctx context.Context, local, remote netip.AddrPort) (net.Co
 	}
 
 	clientEnd, serverEnd := newPipePair(local, remote)
+	clientEnd.faults, serverEnd.faults = faults, faults
+	clientEnd.datagram, serverEnd.datagram = datagram, datagram
 	select {
 	case l.backlog <- serverEnd:
 		return clientEnd, nil
@@ -122,8 +161,10 @@ func (f *Fabric) Dial(ctx context.Context, local, remote netip.AddrPort) (net.Co
 	}
 }
 
-// DialContext implements the dns.Dialer / generic dialer shape:
-// network is ignored (everything is a reliable duplex pipe), and the
+// DialContext implements the dns.Dialer / generic dialer shape. All
+// connections are duplex pipes, but "udp" networks mark the connection
+// as message-oriented: each write is one datagram, subject to the
+// link's probabilistic loss but never split into partial reads. The
 // local address is a synthetic client endpoint.
 func (f *Fabric) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
 	remote, err := netip.ParseAddrPort(address)
@@ -134,7 +175,13 @@ func (f *Fabric) DialContext(ctx context.Context, network, address string) (net.
 	if remote.Addr().Is6() {
 		local = netip.AddrPortFrom(netip.MustParseAddr("2001:db8:ffff::1"), 0)
 	}
-	return f.Dial(ctx, local, remote)
+	return f.dial(ctx, local, remote, isDatagram(network))
+}
+
+// isDatagram reports whether the dial network names a message-oriented
+// transport.
+func isDatagram(network string) bool {
+	return strings.HasPrefix(network, "udp")
 }
 
 // BoundDialer returns a Dialer whose connections originate from the
@@ -165,7 +212,7 @@ func (d *BoundDialer) DialContext(ctx context.Context, network, address string) 
 	if !local.IsValid() {
 		return nil, fmt.Errorf("%w: no local %s address bound", ErrConnRefused, address)
 	}
-	return d.fabric.Dial(ctx, netip.AddrPortFrom(local, 0), remote)
+	return d.fabric.dial(ctx, netip.AddrPortFrom(local, 0), remote, isDatagram(network))
 }
 
 // Listener accepts fabric connections for one address.
@@ -220,11 +267,13 @@ func AddrPortOf(a net.Addr) (netip.AddrPort, bool) {
 }
 
 // newPipePair creates the two ends of a buffered duplex connection.
-func newPipePair(client, server netip.AddrPort) (net.Conn, net.Conn) {
+func newPipePair(client, server netip.AddrPort) (*pipeConn, *pipeConn) {
 	c2s := newHalf()
 	s2c := newHalf()
 	clientEnd := &pipeConn{rd: s2c, wr: c2s, local: client, remote: server}
 	serverEnd := &pipeConn{rd: c2s, wr: s2c, local: server, remote: client}
+	clientEnd.initDeadlines()
+	serverEnd.initDeadlines()
 	return clientEnd, serverEnd
 }
 
@@ -234,8 +283,9 @@ type half struct {
 	closed chan struct{}
 	once   sync.Once
 
-	mu  sync.Mutex
-	rem []byte // partially consumed chunk
+	mu   sync.Mutex
+	rem  []byte // partially consumed chunk
+	fail error  // close cause when abnormal (e.g. ErrConnReset)
 }
 
 func newHalf() *half {
@@ -246,15 +296,108 @@ func (h *half) close() {
 	h.once.Do(func() { close(h.closed) })
 }
 
+// abort closes the half recording cause, so readers and writers see it
+// instead of the clean EOF/closed-pipe errors.
+func (h *half) abort(cause error) {
+	h.mu.Lock()
+	if h.fail == nil {
+		h.fail = cause
+	}
+	h.mu.Unlock()
+	h.close()
+}
+
+// closeCause returns the abnormal-close cause, or nil after a clean
+// close.
+func (h *half) closeCause() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fail
+}
+
+// connDeadline is one direction's cancellable deadline. Setting the
+// deadline while an I/O operation is blocked takes effect immediately:
+// the operation selects on the cancel channel the deadline closes when
+// it fires. This mirrors net.Pipe's deadline machinery, which is the
+// contract net.Conn implementations must honour under concurrent
+// SetDeadline calls.
+type connDeadline struct {
+	mu     sync.Mutex
+	timer  *time.Timer
+	cancel chan struct{}
+}
+
+func (d *connDeadline) init() {
+	d.cancel = make(chan struct{})
+}
+
+// set arms (or clears, for a zero time) the deadline.
+func (d *connDeadline) set(t time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	if d.timer != nil && !d.timer.Stop() {
+		<-d.cancel // the timer fired; wait until its close completes
+	}
+	d.timer = nil
+
+	expired := isClosedChan(d.cancel)
+	if t.IsZero() {
+		// No deadline: replace an already-fired channel so future I/O
+		// blocks again.
+		if expired {
+			d.cancel = make(chan struct{})
+		}
+		return
+	}
+	if dur := time.Until(t); dur > 0 {
+		if expired {
+			d.cancel = make(chan struct{})
+		}
+		cancel := d.cancel
+		d.timer = time.AfterFunc(dur, func() { close(cancel) })
+		return
+	}
+	// Deadline in the past: expire immediately.
+	if !expired {
+		close(d.cancel)
+	}
+}
+
+// wait returns the channel closed when the deadline fires.
+func (d *connDeadline) wait() chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cancel
+}
+
+func isClosedChan(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
 // pipeConn is one endpoint of a fabric connection.
 type pipeConn struct {
 	rd, wr *half
 	local  netip.AddrPort
 	remote netip.AddrPort
 
-	dlMu sync.Mutex
-	rdDL time.Time
-	wrDL time.Time
+	// faults is the link's fault state (shared by both ends); nil on a
+	// healthy link. datagram marks message-oriented connections.
+	faults   *linkFaults
+	datagram bool
+
+	rdDL connDeadline
+	wrDL connDeadline
+}
+
+func (c *pipeConn) initDeadlines() {
+	c.rdDL.init()
+	c.wrDL.init()
 }
 
 func (c *pipeConn) Read(p []byte) (int, error) {
@@ -267,14 +410,14 @@ func (c *pipeConn) Read(p []byte) (int, error) {
 	}
 	c.rd.mu.Unlock()
 
-	timeout, hasDL := c.timeoutChan(true)
-	if hasDL && timeout == nil {
+	cancel := c.rdDL.wait()
+	if isClosedChan(cancel) {
 		return 0, ErrDeadlineExceeded
 	}
 	select {
 	case chunk, ok := <-c.rd.ch:
 		if !ok {
-			return 0, io.EOF
+			return 0, c.readCloseErr()
 		}
 		n := copy(p, chunk)
 		if n < len(chunk) {
@@ -298,54 +441,109 @@ func (c *pipeConn) Read(p []byte) (int, error) {
 			}
 		default:
 		}
-		return 0, io.EOF
-	case <-timeout:
+		return 0, c.readCloseErr()
+	case <-cancel:
 		return 0, ErrDeadlineExceeded
 	}
+}
+
+// readCloseErr maps a closed read half to its surfaced error: the
+// abnormal cause (connection reset) when present, clean EOF otherwise.
+func (c *pipeConn) readCloseErr() error {
+	if cause := c.rd.closeCause(); cause != nil {
+		return cause
+	}
+	return io.EOF
 }
 
 func (c *pipeConn) Write(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	timeout, hasDL := c.timeoutChan(false)
-	if hasDL && timeout == nil {
+	if c.faults != nil {
+		if err := c.injectWriteFault(); err != nil {
+			return 0, err
+		}
+		if c.datagram {
+			if c.faults.roll(c.faults.profile.Loss) {
+				// The datagram vanishes on the wire: a successful local
+				// write the receiver never sees.
+				return len(p), nil
+			}
+		} else if max := c.faults.maxChunk(); max > 0 && len(p) > max {
+			return c.writeChunked(p, max)
+		}
+	}
+	return c.writeChunk(p)
+}
+
+// injectWriteFault applies flap and reset faults to one write. On
+// injection it tears down both directions so the peer observes the
+// reset too, and returns the error the writer sees.
+func (c *pipeConn) injectWriteFault() error {
+	lf := c.faults
+	if lf.down(time.Now()) || lf.roll(lf.profile.ResetRate) {
+		c.wr.abort(ErrConnReset)
+		c.rd.abort(ErrConnReset)
+		return ErrConnReset
+	}
+	return nil
+}
+
+// writeChunked delivers p in max-sized chunks, so the peer observes
+// partial reads and this side observes short writes on failure
+// mid-stream.
+func (c *pipeConn) writeChunked(p []byte, max int) (int, error) {
+	written := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > max {
+			n = max
+		}
+		if _, err := c.writeChunk(p[:n]); err != nil {
+			return written, err
+		}
+		written += n
+		p = p[n:]
+		// Re-roll faults between chunks: a large write can reset partway
+		// through, leaving the peer with a short read.
+		if len(p) > 0 && c.faults != nil {
+			if err := c.injectWriteFault(); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// writeChunk enqueues one chunk, honouring the write deadline.
+func (c *pipeConn) writeChunk(p []byte) (int, error) {
+	cancel := c.wrDL.wait()
+	if isClosedChan(cancel) {
 		return 0, ErrDeadlineExceeded
 	}
 	chunk := append([]byte(nil), p...)
 	select {
 	case <-c.wr.closed:
-		return 0, io.ErrClosedPipe
+		return 0, c.writeCloseErr()
 	default:
 	}
 	select {
 	case c.wr.ch <- chunk:
 		return len(p), nil
 	case <-c.wr.closed:
-		return 0, io.ErrClosedPipe
-	case <-timeout:
+		return 0, c.writeCloseErr()
+	case <-cancel:
 		return 0, ErrDeadlineExceeded
 	}
 }
 
-// timeoutChan returns a channel that fires at the configured deadline.
-// A nil channel with hasDL=true means the deadline already passed; a
-// nil channel with hasDL=false never fires (blocks forever in select).
-func (c *pipeConn) timeoutChan(read bool) (<-chan time.Time, bool) {
-	c.dlMu.Lock()
-	dl := c.wrDL
-	if read {
-		dl = c.rdDL
+// writeCloseErr maps a closed write half to its surfaced error.
+func (c *pipeConn) writeCloseErr() error {
+	if cause := c.wr.closeCause(); cause != nil {
+		return cause
 	}
-	c.dlMu.Unlock()
-	if dl.IsZero() {
-		return nil, false
-	}
-	d := time.Until(dl)
-	if d <= 0 {
-		return nil, true
-	}
-	return time.After(d), true
+	return io.ErrClosedPipe
 }
 
 func (c *pipeConn) Close() error {
@@ -358,22 +556,17 @@ func (c *pipeConn) LocalAddr() net.Addr  { return simAddr(c.local) }
 func (c *pipeConn) RemoteAddr() net.Addr { return simAddr(c.remote) }
 
 func (c *pipeConn) SetDeadline(t time.Time) error {
-	c.dlMu.Lock()
-	defer c.dlMu.Unlock()
-	c.rdDL, c.wrDL = t, t
+	c.rdDL.set(t)
+	c.wrDL.set(t)
 	return nil
 }
 
 func (c *pipeConn) SetReadDeadline(t time.Time) error {
-	c.dlMu.Lock()
-	defer c.dlMu.Unlock()
-	c.rdDL = t
+	c.rdDL.set(t)
 	return nil
 }
 
 func (c *pipeConn) SetWriteDeadline(t time.Time) error {
-	c.dlMu.Lock()
-	defer c.dlMu.Unlock()
-	c.wrDL = t
+	c.wrDL.set(t)
 	return nil
 }

@@ -11,10 +11,16 @@ package resolver
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
+	"net"
 	"net/netip"
+	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"sendervalid/internal/dns"
@@ -69,6 +75,12 @@ type Config struct {
 	DisableCache bool
 	// MaxCacheEntries bounds the cache. Zero means 4096.
 	MaxCacheEntries int
+	// MaxRetries is how many times a query is re-sent after a
+	// transport failure — a timeout, a connection reset mid-message, a
+	// truncated/short TCP read — before the error is surfaced. Server
+	// failures (non-success RCODEs) are never retried. Zero means 2;
+	// negative disables retries.
+	MaxRetries int
 	// Dialer, when set, overrides socket creation (used to route
 	// queries through a simulated network fabric).
 	Dialer dns.Dialer
@@ -78,6 +90,8 @@ type Config struct {
 type Resolver struct {
 	cfg    Config
 	client *dns.Client
+
+	retries atomic.Uint64
 
 	mu    sync.Mutex
 	cache map[cacheKey]cacheEntry
@@ -143,7 +157,11 @@ func isV6HostPort(hostport string) bool {
 }
 
 // Exchange resolves (name, t) against the upstream, consulting the
-// cache first.
+// cache first. Transport failures — timeouts, resets, short TCP reads
+// from a dying connection — are retried up to MaxRetries times, so the
+// faults a hostile network injects between the stub and its upstream
+// do not surface as measurement noise; non-success RCODEs and context
+// cancellation are surfaced immediately.
 func (r *Resolver) Exchange(ctx context.Context, name string, t dns.Type) (*dns.Message, error) {
 	name = dns.CanonicalName(name)
 	key := cacheKey{name: name, typ: t}
@@ -152,6 +170,39 @@ func (r *Resolver) Exchange(ctx context.Context, name string, t dns.Type) (*dns.
 			return msg, nil
 		}
 	}
+	retries := r.cfg.MaxRetries
+	switch {
+	case retries == 0:
+		retries = 2
+	case retries < 0:
+		retries = 0
+	}
+	var resp *dns.Message
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = r.exchangeOnce(ctx, name, t)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil || attempt >= retries || !retryable(err) {
+			return nil, err
+		}
+		r.retries.Add(1)
+	}
+	switch resp.RCode {
+	case dns.RCodeSuccess, dns.RCodeNameError:
+	default:
+		return nil, &ServerError{Name: name, RCode: resp.RCode}
+	}
+	if !r.cfg.DisableCache {
+		r.cachePut(key, resp)
+	}
+	return resp, nil
+}
+
+// exchangeOnce performs one full query round, including the IPv6
+// endpoint fallback.
+func (r *Resolver) exchangeOnce(ctx context.Context, name string, t dns.Type) (*dns.Message, error) {
 	server, err := r.server()
 	if err != nil {
 		return nil, err
@@ -171,15 +222,30 @@ func (r *Resolver) Exchange(ctx context.Context, name string, t dns.Type) (*dns.
 			return nil, err
 		}
 	}
-	switch resp.RCode {
-	case dns.RCodeSuccess, dns.RCodeNameError:
-	default:
-		return nil, &ServerError{Name: name, RCode: resp.RCode}
-	}
-	if !r.cfg.DisableCache {
-		r.cachePut(key, resp)
-	}
 	return resp, nil
+}
+
+// RetryCount returns the number of transport-level query retries the
+// resolver has performed.
+func (r *Resolver) RetryCount() uint64 { return r.retries.Load() }
+
+// retryable classifies an exchange error as a transient transport
+// fault worth re-sending the query for: deadline expiry, refused or
+// reset connections, and short reads from a connection that died
+// mid-message (io.EOF / io.ErrUnexpectedEOF out of the TCP framing
+// layer). Everything else — packing errors, configuration errors —
+// is surfaced immediately.
+func retryable(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
+	var netErr net.Error
+	return errors.As(err, &netErr) && netErr.Timeout()
 }
 
 func (r *Resolver) cacheGet(key cacheKey) (*dns.Message, bool) {

@@ -1,0 +1,158 @@
+package smtp
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLineTooLongRejected verifies an over-long command line draws 500
+// without desynchronizing the session: the next well-formed command
+// still works.
+func TestLineTooLongRejected(t *testing.T) {
+	srv := &Server{MaxLineBytes: 64, ReadTimeout: 2 * time.Second}
+	fabric, addr := startServer(t, srv)
+	conn, expect := rawSession(t, fabric, addr)
+	expect("220")
+	if _, err := conn.Write([]byte("EHLO " + strings.Repeat("x", 200) + "\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	expect("500")
+	_, _ = conn.Write([]byte("EHLO ok.example\r\n"))
+	expect("250")
+}
+
+// TestErrorBudgetEvicts verifies the per-session error budget: a
+// client that keeps drawing protocol errors is closed with 421 and
+// counted as evicted.
+func TestErrorBudgetEvicts(t *testing.T) {
+	srv := &Server{MaxErrors: 3, ReadTimeout: 2 * time.Second}
+	fabric, addr := startServer(t, srv)
+	conn, expect := rawSession(t, fabric, addr)
+	expect("220")
+	for i := 0; i < 3; i++ {
+		_, _ = conn.Write([]byte("BOGUS\r\n"))
+		expect("502")
+	}
+	// The budget-exhausting error draws 421 instead of 502.
+	_, _ = conn.Write([]byte("BOGUS\r\n"))
+	expect("421")
+	// The server closed the session: the next read fails.
+	buf := make([]byte, 16)
+	if n, err := conn.Read(buf); err == nil {
+		t.Fatalf("read %q after 421; connection should be closed", buf[:n])
+	}
+	if got := srv.EvictedSessions(); got != 1 {
+		t.Errorf("EvictedSessions() = %d, want 1", got)
+	}
+}
+
+// TestPolicyRejectionsDoNotChargeBudget verifies 5xx policy outcomes —
+// the study's measurement signal — are not mistaken for abuse: a probe
+// collecting many 550s must not be evicted.
+func TestPolicyRejectionsDoNotChargeBudget(t *testing.T) {
+	srv := &Server{
+		MaxErrors:   2,
+		ReadTimeout: 2 * time.Second,
+		Handler: Handler{
+			OnRcpt: func(s *Session, to string) *Reply { return ReplyNoSuchUser },
+		},
+	}
+	fabric, addr := startServer(t, srv)
+	conn, expect := rawSession(t, fabric, addr)
+	expect("220")
+	_, _ = conn.Write([]byte("EHLO probe.example\r\n"))
+	expect("250")
+	_, _ = conn.Write([]byte("MAIL FROM:<p@probe.example>\r\n"))
+	expect("250")
+	for i := 0; i < 6; i++ {
+		_, _ = conn.Write([]byte("RCPT TO:<nobody@x.example>\r\n"))
+		expect("550") // rejection, not eviction, every time
+	}
+	if got := srv.EvictedSessions(); got != 0 {
+		t.Errorf("EvictedSessions() = %d after policy rejections, want 0", got)
+	}
+}
+
+// TestCommandBudgetEvicts bounds total commands per session so a
+// well-formed but endless command stream cannot hold a connection
+// forever.
+func TestCommandBudgetEvicts(t *testing.T) {
+	srv := &Server{MaxCommands: 4, ReadTimeout: 2 * time.Second}
+	fabric, addr := startServer(t, srv)
+	conn, expect := rawSession(t, fabric, addr)
+	expect("220")
+	for i := 0; i < 4; i++ {
+		_, _ = conn.Write([]byte("NOOP\r\n"))
+		expect("250")
+	}
+	_, _ = conn.Write([]byte("NOOP\r\n"))
+	expect("421")
+}
+
+// TestUnterminatedLineFloodEvicts streams bytes with no line ending —
+// the slowloris-flavored flood — and expects eviction rather than
+// unbounded buffering.
+func TestUnterminatedLineFloodEvicts(t *testing.T) {
+	srv := &Server{MaxLineBytes: 64, ReadTimeout: 2 * time.Second}
+	fabric, addr := startServer(t, srv)
+	conn, expect := rawSession(t, fabric, addr)
+	expect("220")
+	// Flood limit is 64× the line limit; send well past it.
+	chunk := []byte(strings.Repeat("A", 1024))
+	for i := 0; i < 16; i++ {
+		if _, err := conn.Write(chunk); err != nil {
+			break // server may already have hung up
+		}
+	}
+	expect("421")
+}
+
+// TestMaxConnsSheds verifies the connection cap: connections over the
+// cap get 421 immediately and are counted, while admitted sessions
+// keep working.
+func TestMaxConnsSheds(t *testing.T) {
+	srv := &Server{MaxConns: 2, ReadTimeout: 2 * time.Second}
+	fabric, addr := startServer(t, srv)
+
+	c1, expect1 := rawSession(t, fabric, addr)
+	expect1("220")
+	_, expect2 := rawSession(t, fabric, addr)
+	expect2("220")
+
+	// Third connection is over the cap.
+	_, expect3 := rawSession(t, fabric, addr)
+	expect3("421")
+	if got := srv.SheddedConns(); got != 1 {
+		t.Errorf("SheddedConns() = %d, want 1", got)
+	}
+
+	// Admitted sessions are unaffected by the shed.
+	_, _ = c1.Write([]byte("EHLO ok.example\r\n"))
+	expect1("250")
+
+	// Releasing a slot readmits new connections.
+	_, _ = c1.Write([]byte("QUIT\r\n"))
+	expect1("221")
+	c1.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := fabric.DialContext(context.Background(), "tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+		buf := make([]byte, 64)
+		n, err := conn.Read(buf)
+		if err == nil && strings.HasPrefix(string(buf[:n]), "220") {
+			conn.Close()
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("freed connection slot was never readmitted")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

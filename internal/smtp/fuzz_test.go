@@ -1,0 +1,58 @@
+package smtp
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// FuzzParseAddress feeds arbitrary MAIL FROM / RCPT TO arguments to
+// the address parser. It must never panic, and every address it
+// accepts must be consumable by the domain/local splitters.
+func FuzzParseAddress(f *testing.F) {
+	f.Add("<user@example.com>")
+	f.Add("<>")
+	f.Add("user@example.com SIZE=1024")
+	f.Add("<unterminated")
+	f.Add("<a@b> BODY=8BITMIME SMTPUTF8")
+	f.Add("  <spaced@example.com>  ")
+	f.Add("<@route.example:real@example.com>")
+	f.Add("<user@[203.0.113.25]>")
+	f.Add(strings.Repeat("<", 100))
+	f.Fuzz(func(t *testing.T, arg string) {
+		addr, ok := ParseAddress(arg)
+		if !ok {
+			return
+		}
+		_ = DomainOf(addr)
+		_ = LocalOf(addr)
+	})
+}
+
+// FuzzReadCommandLine hammers the bounded line reader with arbitrary
+// byte streams. The invariants: no panic, any returned line respects
+// the length cap, and the two abuse sentinels are the only non-I/O
+// errors.
+func FuzzReadCommandLine(f *testing.F) {
+	f.Add([]byte("EHLO example.com\r\n"), 64)
+	f.Add([]byte("MAIL FROM:<a@b>\n"), 16)
+	f.Add([]byte(strings.Repeat("A", 4096)), 16)
+	f.Add([]byte(strings.Repeat("B", 4096)+"\r\n"), 64)
+	f.Add([]byte("\r\n\r\n\r\n"), 8)
+	f.Add([]byte{0x00, 0xff, '\r', '\n'}, 8)
+	f.Fuzz(func(t *testing.T, data []byte, max int) {
+		if max <= 0 || max > 1<<16 {
+			return
+		}
+		br := bufio.NewReaderSize(strings.NewReader(string(data)), 16)
+		for {
+			line, err := readCommandLine(br, max)
+			if err != nil {
+				break
+			}
+			if len(line) > max {
+				t.Fatalf("readCommandLine returned %d bytes, cap %d", len(line), max)
+			}
+		}
+	})
+}

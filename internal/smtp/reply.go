@@ -31,6 +31,7 @@ var (
 	ReplyParamError     = &Reply{Code: 501, Text: "Syntax error in parameters"}
 	ReplyNotImplemented = &Reply{Code: 502, Text: "Command not implemented"}
 	ReplyNoSuchUser     = &Reply{Code: 550, Text: "No such user here"}
+	ReplyLineTooLong    = &Reply{Code: 500, Text: "Line too long"}
 )
 
 // Positive reports whether the reply code indicates success (2xx/3xx).

@@ -3,6 +3,7 @@ package smtp
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"net"
 	"net/netip"
@@ -81,41 +82,52 @@ type Server struct {
 	ReadTimeout time.Duration
 	// MaxMessageBytes caps DATA payloads. Zero means 10 MiB.
 	MaxMessageBytes int
+	// MaxConns caps concurrent sessions; connections over the cap are
+	// greeted with 421 and closed immediately (graceful shedding, not
+	// a wedged accept queue). Zero means 1024.
+	MaxConns int
+	// MaxLineBytes caps one command line (RFC 5321 §4.5.3.1.6 requires
+	// at least 512 octets; ESMTP in practice needs more). An over-long
+	// line is consumed and answered 500, charging the session's error
+	// budget, so a byte-spewing client cannot grow memory without
+	// bound. Zero means 2048.
+	MaxLineBytes int
+	// MaxErrors is the per-session error budget: syntax errors,
+	// unknown commands, bad sequences, and over-long lines each charge
+	// it, and exceeding it closes the session with 421. Zero means 10.
+	MaxErrors int
+	// MaxCommands caps commands per session before a 421 close — a
+	// slowloris/abuse guard so one client cannot hold a session
+	// forever. Zero means 4096.
+	MaxCommands int
 	// StampReceived prepends the RFC 5321 §4.4 trace header to each
 	// accepted message before OnMessage sees it.
 	StampReceived bool
 	// Clock supplies timestamps for trace headers; nil means time.Now.
 	Clock func() time.Time
 
-	mu     sync.Mutex
-	wg     sync.WaitGroup
-	ln     []net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	ln      []net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	shedded uint64 // connections 421'd over MaxConns
+	evicted uint64 // sessions 421'd over a budget
 }
 
-// track registers or deregisters an active session connection so Close
-// can interrupt sessions blocked on reads.
-func (s *Server) track(conn net.Conn, add bool) bool {
+// forget deregisters an active session connection (admit registers
+// them, so Close can interrupt sessions blocked on reads).
+func (s *Server) forget(conn net.Conn) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if add {
-		if s.closed {
-			return false
-		}
-		if s.conns == nil {
-			s.conns = make(map[net.Conn]struct{})
-		}
-		s.conns[conn] = struct{}{}
-		return true
-	}
 	delete(s.conns, conn)
-	return true
+	s.mu.Unlock()
 }
 
 // Serve accepts connections from ln until the server shuts down. It
 // may be called for several listeners concurrently (e.g. the MTA's
-// IPv4 and IPv6 addresses).
+// IPv4 and IPv6 addresses). Transient accept errors — EMFILE-class
+// descriptor exhaustion above all — are retried with exponential
+// backoff instead of killing the accept loop.
 func (s *Server) Serve(ln net.Listener) {
 	s.mu.Lock()
 	if s.closed {
@@ -125,17 +137,50 @@ func (s *Server) Serve(ln net.Listener) {
 	}
 	s.ln = append(s.ln, ln)
 	s.mu.Unlock()
+	var delay time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if delay == 0 {
+				delay = 5 * time.Millisecond
+			} else if delay *= 2; delay > time.Second {
+				delay = time.Second
+			}
+			time.Sleep(delay)
+			continue
 		}
+		delay = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.serveConn(conn)
 		}()
 	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// SheddedConns returns how many connections were turned away with 421
+// because the server was at MaxConns.
+func (s *Server) SheddedConns() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shedded
+}
+
+// EvictedSessions returns how many sessions were closed with 421 for
+// exhausting their command or error budget.
+func (s *Server) EvictedSessions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
 }
 
 // Close stops all listeners and waits for active sessions.
@@ -179,6 +224,34 @@ func (s *Server) maxMessage() int {
 	return 10 << 20
 }
 
+func (s *Server) maxConns() int {
+	if s.MaxConns > 0 {
+		return s.MaxConns
+	}
+	return 1024
+}
+
+func (s *Server) maxLine() int {
+	if s.MaxLineBytes > 0 {
+		return s.MaxLineBytes
+	}
+	return 2048
+}
+
+func (s *Server) maxErrors() int {
+	if s.MaxErrors > 0 {
+		return s.MaxErrors
+	}
+	return 10
+}
+
+func (s *Server) maxCommands() int {
+	if s.MaxCommands > 0 {
+		return s.MaxCommands
+	}
+	return 4096
+}
+
 func clientIP(addr net.Addr) netip.Addr {
 	if addr == nil {
 		return netip.Addr{}
@@ -189,12 +262,46 @@ func clientIP(addr net.Addr) netip.Addr {
 	return netip.Addr{}
 }
 
+// admit registers the connection, enforcing the concurrent-session
+// cap. overCap is true when the connection must be shed with 421.
+func (s *Server) admit(conn net.Conn) (ok, overCap bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, false
+	}
+	if len(s.conns) >= s.maxConns() {
+		s.shedded++
+		return false, true
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	return true, false
+}
+
+func (s *Server) noteEvicted() {
+	s.mu.Lock()
+	s.evicted++
+	s.mu.Unlock()
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	if !s.track(conn, true) {
+	ok, overCap := s.admit(conn)
+	if overCap {
+		// Graceful shedding: tell the client to come back rather than
+		// letting it queue against a saturated server.
+		_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+		reply := &Reply{Code: 421, Text: s.hostname() + " too many connections, try again later"}
+		_, _ = conn.Write([]byte(reply.format()))
 		return
 	}
-	defer s.track(conn, false)
+	if !ok {
+		return
+	}
+	defer s.forget(conn)
 	sess := &Session{
 		RemoteAddr: conn.RemoteAddr(),
 		ClientIP:   clientIP(conn.RemoteAddr()),
@@ -212,6 +319,36 @@ func (s *Server) serveConn(conn net.Conn) {
 		return bw.Flush() == nil
 	}
 
+	// Per-session abuse budgets: protocol errors and total commands
+	// are both bounded, and exhausting either closes with 421 instead
+	// of looping forever against a byte-spewing or stalling client.
+	commands, errs := 0, 0
+	evict := func(text string) {
+		s.noteEvicted()
+		send(&Reply{Code: 421, Text: s.hostname() + " " + text})
+	}
+	// chargeError charges one protocol error and sends r; it returns
+	// false when the session must end (budget exhausted or dead conn).
+	chargeError := func(r *Reply) bool {
+		errs++
+		if errs > s.maxErrors() {
+			evict("too many errors, closing connection")
+			return false
+		}
+		return send(r)
+	}
+	// sendOutcome sends a command's reply, charging the error budget
+	// for protocol-level failures (500–504: syntax errors, bad
+	// sequences, unimplemented commands) but not for policy rejections
+	// (550, 554, 4xx), which are legitimate measurement outcomes, not
+	// abuse.
+	sendOutcome := func(r *Reply) bool {
+		if r.Code >= 500 && r.Code <= 504 {
+			return chargeError(r)
+		}
+		return send(r)
+	}
+
 	greeting := &Reply{Code: 220, Text: s.hostname() + " ESMTP service ready"}
 	if s.Handler.OnConnect != nil {
 		if r := s.Handler.OnConnect(sess); r != nil {
@@ -224,18 +361,31 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout()))
-		line, err := br.ReadString('\n')
+		line, err := readCommandLine(br, s.maxLine())
 		if err != nil {
+			if errors.Is(err, errLineTooLong) {
+				if !chargeError(ReplyLineTooLong) {
+					return
+				}
+				continue
+			}
+			if errors.Is(err, errFlooded) {
+				evict("line flood, closing connection")
+			}
 			return
 		}
-		line = strings.TrimRight(line, "\r\n")
+		commands++
+		if commands > s.maxCommands() {
+			evict("too many commands, closing connection")
+			return
+		}
 		verb, arg, _ := strings.Cut(line, " ")
 		verb = strings.ToUpper(verb)
 
 		switch verb {
 		case "HELO", "EHLO":
 			if arg == "" {
-				if !send(ReplyParamError) {
+				if !chargeError(ReplyParamError) {
 					return
 				}
 				continue
@@ -255,19 +405,19 @@ func (s *Server) serveConn(conn net.Conn) {
 
 		case "MAIL":
 			reply := s.handleMail(sess, arg)
-			if !send(reply) {
+			if !sendOutcome(reply) {
 				return
 			}
 
 		case "RCPT":
 			reply := s.handleRcpt(sess, arg)
-			if !send(reply) {
+			if !sendOutcome(reply) {
 				return
 			}
 
 		case "DATA":
 			if !sess.MailSeen && len(sess.RcptTo) == 0 {
-				if !send(ReplyBadSequence) {
+				if !sendOutcome(ReplyBadSequence) {
 					return
 				}
 				continue
@@ -329,7 +479,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 
 		default:
-			if !send(ReplyNotImplemented) {
+			if !chargeError(ReplyNotImplemented) {
 				return
 			}
 		}
@@ -395,18 +545,78 @@ func (s *Server) handleRcpt(sess *Session, arg string) *Reply {
 	return ReplyOK
 }
 
+// maxDataLine bounds one DATA text line. RFC 5321 §4.5.3.1.6 requires
+// receivers to handle 1000 octets; 8 KiB tolerates sloppy senders
+// while still bounding per-line memory.
+const maxDataLine = 8192
+
+// Line-discipline errors surfaced by readCommandLine.
+var (
+	errLineTooLong = errors.New("smtp: line too long")
+	errFlooded     = errors.New("smtp: unterminated line flood")
+)
+
+// readCommandLine reads one newline-terminated line of at most max
+// bytes. An over-long line is consumed to its terminator without being
+// buffered and reported as errLineTooLong, so the caller can answer
+// 500 and keep the session. A line that never terminates within a
+// generous multiple of max is reported as errFlooded — a byte-spewing
+// client the session should drop, with memory use bounded throughout.
+func readCommandLine(br *bufio.Reader, max int) (string, error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if err == bufio.ErrBufferFull {
+			if len(buf) > max {
+				if derr := discardLine(br, 64*max); derr != nil {
+					return "", derr
+				}
+				return "", errLineTooLong
+			}
+			continue
+		}
+		if err != nil {
+			return "", err
+		}
+		if len(buf) > max {
+			return "", errLineTooLong
+		}
+		return strings.TrimRight(string(buf), "\r\n"), nil
+	}
+}
+
+// discardLine consumes input up to and including the next newline
+// without buffering it, giving up after limit bytes.
+func discardLine(br *bufio.Reader, limit int) error {
+	discarded := 0
+	for {
+		frag, err := br.ReadSlice('\n')
+		discarded += len(frag)
+		if err == bufio.ErrBufferFull {
+			if discarded > limit {
+				return errFlooded
+			}
+			continue
+		}
+		return err
+	}
+}
+
 // readData consumes a DATA payload up to the terminating
-// <CRLF>.<CRLF>, reversing dot-stuffing.
+// <CRLF>.<CRLF>, reversing dot-stuffing. Over-long text lines
+// terminate the connection: mid-payload there is no way to recover
+// command framing with a misbehaving sender.
 func (s *Server) readData(conn net.Conn, br *bufio.Reader) ([]byte, error) {
 	var buf bytes.Buffer
 	max := s.maxMessage()
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout()))
-		line, err := br.ReadString('\n')
+		line, err := readCommandLine(br, maxDataLine)
 		if err != nil {
 			return nil, err
 		}
-		trimmed := strings.TrimRight(line, "\r\n")
+		trimmed := line
 		if trimmed == "." {
 			return buf.Bytes(), nil
 		}
