@@ -1,6 +1,8 @@
 # Development entry points. `make check` is the gate: vet, build, the
-# full test suite under the race detector, and a replay of the fuzz
-# seed corpora. `make chaos` runs the seeded chaos suite on its own.
+# full test suite under the race detector, a replay of the fuzz seed
+# corpora, and a one-iteration smoke pass over every benchmark. `make
+# chaos` runs the seeded chaos suite on its own; `make bench` records
+# the hot-path benchmarks to $(BENCH_OUT) for before/after comparison.
 
 GO ?= go
 
@@ -8,9 +10,15 @@ GO ?= go
 # with; reproduce a failure with `make chaos CHAOS_SEED=<seed>`.
 CHAOS_SEED ?= 42
 
-.PHONY: check vet build test fuzz-seeds chaos bench
+# Where `make bench` archives its parsed results.
+BENCH_OUT ?= BENCH_4.json
 
-check: vet build test fuzz-seeds
+# The benchmarks that guard the serving hot path's allocation budget.
+HOT_BENCHES = BenchmarkServeHotPath|BenchmarkDNSMessagePackUnpack|BenchmarkSPFParse|BenchmarkQueryLogJSONRoundTrip
+
+.PHONY: check vet build test fuzz-seeds chaos bench bench-smoke
+
+check: vet build test fuzz-seeds bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,5 +43,14 @@ chaos:
 		-run 'Panic|RateLimit|TCPServer|Retry|AsyncLog|Evict|Shed|LineTooLong|PolicyRejections' \
 		./internal/dns/ ./internal/dnsserver/ ./internal/smtp/ ./internal/resolver/
 
+# One iteration of every benchmark: catches bit-rot in benchmark code
+# without the cost of a measurement run.
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# Measure the hot-path benchmarks and archive the parsed numbers (plus
+# the raw lines, for benchstat) to $(BENCH_OUT).
 bench:
-	$(GO) test -run NONE -bench . -benchtime 1x .
+	$(GO) test -run NONE -bench '$(HOT_BENCHES)' -benchmem -count 1 \
+		. ./internal/dnsserver/ | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"

@@ -632,6 +632,7 @@ func (s staticTXT) LookupTXT(ctx context.Context, name string) ([]string, error)
 func BenchmarkQueryLogJSONRoundTrip(b *testing.B) {
 	w := buildBenchWorld(b, notifySpec(18), experiment.NotifyRates())
 	experiment.RunProbes(context.Background(), w, []string{"t01", "t12"}, 32)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var entries int
 	for i := 0; i < b.N; i++ {

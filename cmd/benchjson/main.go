@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` text output on stdin to
+// a JSON document on stdout, so benchmark runs can be archived and
+// diffed (BENCH_4.json in the perf-regression workflow). The raw
+// benchmark lines are preserved verbatim alongside the parsed fields,
+// so benchstat can still consume an archived run.
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchmem ./... | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds less common value/unit pairs (MB/s, custom metrics).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+type document struct {
+	// Context captures the goos/goarch/pkg/cpu header lines.
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []result          `json:"benchmarks"`
+	// Raw preserves the benchmark and header lines exactly as emitted,
+	// for benchstat and eyeballing.
+	Raw []string `json:"raw"`
+}
+
+func main() {
+	doc := document{Context: map[string]string{}, Benchmarks: []result{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			doc.Context[key] = strings.TrimSpace(val)
+			doc.Raw = append(doc.Raw, line)
+		case strings.HasPrefix(line, "pkg:"):
+			_, val, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(val)
+			doc.Raw = append(doc.Raw, line)
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line, pkg); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+				doc.Raw = append(doc.Raw, line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one "BenchmarkName-8  N  v unit  v unit ..." line.
+func parseBench(line, pkg string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Package: pkg, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsPerOp = val
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[fields[i+1]] = val
+		}
+	}
+	return r, true
+}

@@ -1,0 +1,107 @@
+package dns
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The serving hot path promises allocation-free encode and (for repeat
+// queries into a pooled message) allocation-free decode. These tests
+// pin that contract so a regression shows up as a test failure, not
+// just a drifting benchmark number.
+
+func TestAppendPackZeroAlloc(t *testing.T) {
+	msg := new(Message).SetQuestion("t01.m000001.spf-test.dns-lab.example.", TypeTXT)
+	msg.Answers = append(msg.Answers, RR{
+		Name: msg.Question().Name, Type: TypeTXT, Class: ClassINET, TTL: 60,
+		Data: &TXT{Strings: []string{"v=spf1 ip4:192.0.2.0/24 ?all"}},
+	})
+	buf := make([]byte, 0, 512)
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = msg.AppendPack(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendPack into reused buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestAppendPackMatchesPackAtOffset(t *testing.T) {
+	msg := sampleMessage()
+	want, err := msg.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encoding after existing bytes (the TCP writer reserves a 2-octet
+	// length prefix) must produce the same message bytes: compression
+	// offsets are message-relative, not buffer-relative.
+	prefix := []byte{0xAB, 0xCD}
+	got, err := msg.AppendPack(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:2], prefix) {
+		t.Error("AppendPack clobbered existing buffer bytes")
+	}
+	if !bytes.Equal(got[2:], want) {
+		t.Error("AppendPack at offset differs from Pack")
+	}
+}
+
+func TestPooledUnpackZeroAlloc(t *testing.T) {
+	packed, err := new(Message).SetQuestion("t01.m000001.spf-test.dns-lab.example.", TypeTXT).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := GetMsg()
+	defer PutMsg(msg)
+	// Repeat unpacks of the same query reuse the pooled message's
+	// question backing and previous name via the wire-match hint.
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := msg.Unpack(packed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("repeat Unpack into pooled message: %v allocs/op, want 0", allocs)
+	}
+	if msg.Question().Name != "t01.m000001.spf-test.dns-lab.example." {
+		t.Errorf("hint-path unpack corrupted question: %q", msg.Question().Name)
+	}
+}
+
+func TestSetReplyReusesQuestionBacking(t *testing.T) {
+	req := new(Message).SetQuestion("example.com.", TypeTXT)
+	resp := new(Message)
+	resp.Questions = append(resp.Questions, Question{Name: "stale.", Type: TypeA, Class: ClassINET})
+	before := &resp.Questions[0]
+	resp.SetReply(req)
+	if &resp.Questions[0] != before {
+		t.Error("SetReply reallocated the question backing array")
+	}
+	if resp.Question().Name != "example.com." {
+		t.Errorf("SetReply question: %q", resp.Question().Name)
+	}
+	allocs := testing.AllocsPerRun(100, func() { resp.SetReply(req) })
+	if allocs != 0 {
+		t.Errorf("SetReply with sufficient capacity: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestCanonicalNameFastPath(t *testing.T) {
+	name := "already.canonical.example."
+	if got := CanonicalName(name); got != name {
+		t.Fatalf("CanonicalName(%q) = %q", name, got)
+	}
+	allocs := testing.AllocsPerRun(100, func() { _ = CanonicalName(name) })
+	if allocs != 0 {
+		t.Errorf("CanonicalName on canonical input: %v allocs/op, want 0", allocs)
+	}
+	// The slow path still canonicalizes.
+	if got := CanonicalName("MiXeD.Example"); got != "mixed.example." {
+		t.Errorf("slow path: %q", got)
+	}
+}

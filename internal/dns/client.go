@@ -194,12 +194,24 @@ func WriteTCPMessage(w io.Writer, msg []byte) error {
 
 // ReadTCPMessage reads one length-prefixed DNS message from r.
 func ReadTCPMessage(r io.Reader) ([]byte, error) {
+	return readTCPMessageInto(r, nil)
+}
+
+// readTCPMessageInto reads one length-prefixed DNS message, reusing
+// buf's backing array when its capacity suffices — the server's
+// per-connection read path passes the previous message's buffer back
+// in so a query stream allocates once, not once per query.
+func readTCPMessageInto(r io.Reader, buf []byte) ([]byte, error) {
 	var lenBuf [2]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, fmt.Errorf("dns: tcp length read: %w", err)
 	}
 	n := int(lenBuf[0])<<8 | int(lenBuf[1])
-	buf := make([]byte, n)
+	if cap(buf) >= n {
+		buf = buf[:n]
+	} else {
+		buf = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, fmt.Errorf("dns: tcp body read: %w", err)
 	}

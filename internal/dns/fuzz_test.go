@@ -1,6 +1,7 @@
 package dns
 
 import (
+	"bytes"
 	"testing"
 )
 
@@ -51,6 +52,17 @@ func FuzzMessageUnpack(f *testing.F) {
 		var m2 Message
 		if err := m2.Unpack(repacked); err != nil {
 			t.Fatalf("repacked message does not unpack: %v", err)
+		}
+		// AppendPack parity: encoding after existing bytes (as the TCP
+		// writer does past its length prefix) must produce exactly the
+		// Pack output — compression offsets are message-relative.
+		prefixed, err := m.AppendPack([]byte{0xFE, 0xFD})
+		if err != nil {
+			t.Fatalf("AppendPack fails where Pack succeeded: %v", err)
+		}
+		if !bytes.Equal(prefixed[2:], repacked) {
+			t.Fatalf("AppendPack at offset diverges from Pack:\n got %x\nwant %x",
+				prefixed[2:], repacked)
 		}
 	})
 }

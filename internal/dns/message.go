@@ -3,6 +3,7 @@ package dns
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Question is a DNS question section entry.
@@ -49,7 +50,26 @@ const (
 
 // Pack encodes the message into wire format with name compression.
 func (m *Message) Pack() ([]byte, error) {
-	b := newBuilder()
+	return m.AppendPack(make([]byte, 0, 512))
+}
+
+// AppendPack encodes the message into wire format with name
+// compression, appending to dst and returning the extended buffer.
+// The message starts at len(dst), so a caller can reserve prefix bytes
+// (e.g. the TCP length header) or reuse a pooled buffer with dst[:0];
+// packing into a buffer with sufficient capacity performs zero
+// allocations.
+func (m *Message) AppendPack(dst []byte) ([]byte, error) {
+	// Builders are pooled rather than stack-allocated: *builder crosses
+	// the RData.pack interface boundary, so escape analysis would heap-
+	// allocate one per call otherwise.
+	b := builderPool.Get().(*builder)
+	defer func() {
+		b.buf = nil
+		b.nNames = 0
+		builderPool.Put(b)
+	}()
+	b.buf, b.base = dst, len(dst)
 	b.uint16(m.ID)
 	var flags uint16
 	if m.Response {
@@ -81,17 +101,59 @@ func (m *Message) Pack() ([]byte, error) {
 		b.uint16(uint16(q.Type))
 		b.uint16(uint16(q.Class))
 	}
-	for _, section := range [][]RR{m.Answers, m.Authority, m.Additional} {
-		for _, rr := range section {
-			if err := b.packRR(rr); err != nil {
-				return nil, err
-			}
-		}
+	if err := b.packSection(m.Answers); err != nil {
+		return nil, err
+	}
+	if err := b.packSection(m.Authority); err != nil {
+		return nil, err
+	}
+	if err := b.packSection(m.Additional); err != nil {
+		return nil, err
 	}
 	return b.buf, nil
 }
 
+func (b *builder) packSection(rrs []RR) error {
+	for _, rr := range rrs {
+		if err := b.packRR(rr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// msgPool recycles Message values across queries on the serving path.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// GetMsg returns a pooled Message ready for Unpack, SetQuestion, or
+// SetReply. Pooled messages retain their Questions backing array, so a
+// steady-state server reuses it instead of allocating per query.
+func GetMsg() *Message { return msgPool.Get().(*Message) }
+
+// PutMsg resets m and returns it to the pool. The caller must not
+// retain m, or any slice taken from it, after PutMsg — in particular a
+// handler must not hold a pooled request or response Message past
+// ServeDNS. Strings extracted from the message (names, TXT payloads)
+// are independent copies and remain valid.
+func PutMsg(m *Message) {
+	m.Reset()
+	msgPool.Put(m)
+}
+
+// Reset clears the message for reuse. The Questions backing array is
+// retained (it is only ever written through this package's appends);
+// the record sections are dropped outright because callers assign
+// caller-owned slices to them (e.g. a responder's Records).
+func (m *Message) Reset() {
+	qs := m.Questions[:0]
+	*m = Message{Questions: qs}
+}
+
 // Unpack decodes a wire-format message into m, replacing its contents.
+// Section backing arrays are reused when their capacity allows, so
+// repeatedly unpacking into a pooled Message does not allocate slice
+// headers; names and rdata are always independent copies of the input,
+// which may therefore be a pooled buffer.
 func (m *Message) Unpack(data []byte) error {
 	p := &parser{msg: data}
 	id, err := p.uint16()
@@ -102,6 +164,7 @@ func (m *Message) Unpack(data []byte) error {
 	if err != nil {
 		return err
 	}
+	oldQuestions := m.Questions
 	*m = Message{
 		ID:                 id,
 		Response:           flags&flagQR != 0,
@@ -111,6 +174,10 @@ func (m *Message) Unpack(data []byte) error {
 		RecursionDesired:   flags&flagRD != 0,
 		RecursionAvailable: flags&flagRA != 0,
 		RCode:              RCode(flags & rcodeMask),
+		Questions:          oldQuestions[:0],
+		Answers:            m.Answers[:0],
+		Authority:          m.Authority[:0],
+		Additional:         m.Additional[:0],
 	}
 	qdCount, err := p.uint16()
 	if err != nil {
@@ -128,8 +195,15 @@ func (m *Message) Unpack(data []byte) error {
 	if err != nil {
 		return err
 	}
-	for range qdCount {
-		name, err := p.name()
+	for i := range int(qdCount) {
+		// The name most likely to arrive next is the one this slot held
+		// last time (a pooled Message on a busy server, or a retry);
+		// matching against it avoids rebuilding an identical string.
+		var hint string
+		if i < len(oldQuestions) {
+			hint = oldQuestions[i].Name
+		}
+		name, err := p.nameHint(hint)
 		if err != nil {
 			return err
 		}
@@ -187,14 +261,17 @@ func (m *Message) SetQuestion(name string, t Type) *Message {
 }
 
 // SetReply resets the message to a response to req, copying the ID,
-// question, opcode, and recursion-desired flag.
+// question, opcode, and recursion-desired flag. The receiver's
+// existing Questions backing array is reused when its capacity allows,
+// so replying via a pooled Message does not allocate the copy.
 func (m *Message) SetReply(req *Message) *Message {
+	qs := append(m.Questions[:0], req.Questions...)
 	*m = Message{
 		ID:               req.ID,
 		Response:         true,
 		Opcode:           req.Opcode,
 		RecursionDesired: req.RecursionDesired,
-		Questions:        append([]Question(nil), req.Questions...),
+		Questions:        qs,
 	}
 	return m
 }

@@ -1,7 +1,6 @@
 package dns
 
 import (
-	"net"
 	"sync"
 	"time"
 )
@@ -92,17 +91,4 @@ func (rl *RateLimiter) Sources() int {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
 	return len(rl.buckets)
-}
-
-// sourceKey reduces a transport address to its rate-limiting identity:
-// the bare IP, so one resolver churning source ports shares one bucket.
-func sourceKey(addr net.Addr) string {
-	if addr == nil {
-		return ""
-	}
-	s := addr.String()
-	if host, _, err := net.SplitHostPort(s); err == nil {
-		return host
-	}
-	return s
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,10 @@ import (
 
 // Request carries a decoded query and its transport context to a
 // Handler.
+//
+// The Msg of a Request served by this package's Server is pooled: a
+// handler must not retain it (or slices taken from it) past ServeDNS.
+// Strings extracted from it remain valid indefinitely.
 type Request struct {
 	// Msg is the decoded query.
 	Msg *Message
@@ -21,6 +26,20 @@ type Request struct {
 	Transport string
 	// Received is the server's arrival timestamp for the query.
 	Received time.Time
+
+	// remote caches RemoteAddr.String(); the Server fills it from its
+	// per-source cache so log attribution does not re-render the same
+	// resolver's address on every query.
+	remote string
+}
+
+// RemoteString returns RemoteAddr.String(), computed at most once per
+// request and pre-filled by the Server from its per-source cache.
+func (r *Request) RemoteString() string {
+	if r.remote == "" && r.RemoteAddr != nil {
+		r.remote = r.RemoteAddr.String()
+	}
+	return r.remote
 }
 
 // ResponseWriter sends a response for one request.
@@ -73,6 +92,7 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	limiter *RateLimiter
+	sources sourceCache
 
 	panics  atomic.Uint64
 	refused atomic.Uint64
@@ -176,6 +196,71 @@ func (s *Server) closing() bool {
 
 const maxUDPQuery = 4096
 
+// pktPool recycles the 4096-byte buffers that carry one UDP query from
+// the read loop into its serving goroutine.
+var pktPool = sync.Pool{New: func() any {
+	b := make([]byte, maxUDPQuery)
+	return &b
+}}
+
+// respBufPool recycles response encoding buffers; WriteMsg encodes via
+// AppendPack into one of these, so steady-state responses allocate
+// nothing for the wire image.
+var respBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// sourceCache memoizes the rendered form of client addresses: the full
+// addr:port string (query-log attribution) and the bare host (the rate
+// limiter's per-source identity). A validating resolver sends bursts
+// of queries from one socket, so the same address is rendered once,
+// not once per query. The table is bounded like the rate limiter's:
+// on overflow it is reset wholesale rather than grown.
+type sourceCache struct {
+	mu sync.Mutex
+	m  map[netip.AddrPort]sourceID
+}
+
+type sourceID struct {
+	str  string // RemoteAddr.String()
+	host string // bare IP, the rate-limiting identity
+}
+
+const maxCachedSources = 8192
+
+func (c *sourceCache) lookup(a net.Addr) sourceID {
+	var ap netip.AddrPort
+	switch v := a.(type) {
+	case *net.UDPAddr:
+		ap = v.AddrPort()
+	case *net.TCPAddr:
+		ap = v.AddrPort()
+	default:
+		return makeSourceID(a)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.m[ap]; ok {
+		return id
+	}
+	if c.m == nil || len(c.m) >= maxCachedSources {
+		c.m = make(map[netip.AddrPort]sourceID)
+	}
+	id := makeSourceID(a)
+	c.m[ap] = id
+	return id
+}
+
+func makeSourceID(a net.Addr) sourceID {
+	s := a.String()
+	host := s
+	if h, _, err := net.SplitHostPort(s); err == nil {
+		host = h
+	}
+	return sourceID{str: s, host: host}
+}
+
 // Panics returns the number of handler panics recovered into SERVFAIL
 // responses since Start.
 func (s *Server) Panics() uint64 { return s.panics.Load() }
@@ -208,14 +293,13 @@ func (s *Server) backoff(delay time.Duration) time.Duration {
 	return delay
 }
 
-// overLimit consults the per-source limiter; when the source is over
-// budget it writes a REFUSED reply (if the query parses) and reports
-// true.
-func (s *Server) overLimit(raddr net.Addr, now time.Time) bool {
+// overLimit consults the per-source limiter, keyed by the cached bare
+// host of the client address.
+func (s *Server) overLimit(host string, now time.Time) bool {
 	if s.limiter == nil {
 		return false
 	}
-	if s.limiter.Allow(sourceKey(raddr), now) {
+	if s.limiter.Allow(host, now) {
 		return false
 	}
 	s.refused.Add(1)
@@ -230,9 +314,10 @@ func (s *Server) serveRequest(w ResponseWriter, r *Request) {
 		if v := recover(); v != nil {
 			s.panics.Add(1)
 			s.logf("dns: handler panic serving %s from %s: %v", describeQuery(r.Msg), r.RemoteAddr, v)
-			resp := new(Message).SetReply(r.Msg)
+			resp := GetMsg().SetReply(r.Msg)
 			resp.RCode = RCodeServerFailure
 			_ = w.WriteMsg(resp)
+			PutMsg(resp)
 		}
 	}()
 	s.Handler.ServeDNS(w, r)
@@ -250,9 +335,10 @@ func describeQuery(m *Message) string {
 
 // refuse writes a REFUSED reply for a rate-limited query.
 func refuse(w ResponseWriter, msg *Message) {
-	resp := new(Message).SetReply(msg)
+	resp := GetMsg().SetReply(msg)
 	resp.RCode = RCodeRefused
 	_ = w.WriteMsg(resp)
+	PutMsg(resp)
 }
 
 func (s *Server) serveUDP(pc net.PacketConn) {
@@ -272,23 +358,27 @@ func (s *Server) serveUDP(pc net.PacketConn) {
 		}
 		delay = 0
 		received := time.Now()
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
+		pktp := pktPool.Get().(*[]byte)
+		copy(*pktp, buf[:n])
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handlePacket(pc, raddr, pkt, received)
+			s.handlePacket(pc, raddr, pktp, n, received)
 		}()
 	}
 }
 
-func (s *Server) handlePacket(pc net.PacketConn, raddr net.Addr, pkt []byte, received time.Time) {
-	msg := new(Message)
-	if err := msg.Unpack(pkt); err != nil || msg.Response {
+func (s *Server) handlePacket(pc net.PacketConn, raddr net.Addr, pktp *[]byte, n int, received time.Time) {
+	msg := GetMsg()
+	defer PutMsg(msg)
+	err := msg.Unpack((*pktp)[:n])
+	pktPool.Put(pktp) // Unpack copied everything it keeps
+	if err != nil || msg.Response {
 		return
 	}
 	w := &udpResponseWriter{pc: pc, raddr: raddr, maxSize: msg.EDNSUDPSize()}
-	if s.overLimit(raddr, received) {
+	src := s.sources.lookup(raddr)
+	if s.overLimit(src.host, received) {
 		refuse(w, msg)
 		return
 	}
@@ -297,6 +387,7 @@ func (s *Server) handlePacket(pc net.PacketConn, raddr net.Addr, pkt []byte, rec
 		RemoteAddr: raddr,
 		Transport:  "udp",
 		Received:   received,
+		remote:     src.str,
 	})
 }
 
@@ -329,27 +420,33 @@ func (s *Server) handleTCPConn(conn net.Conn) {
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
+	raddr := conn.RemoteAddr()
+	src := s.sources.lookup(raddr)
+	w := &tcpResponseWriter{conn: conn}
+	var pkt []byte // per-connection read buffer, grown on demand
+	msg := GetMsg()
+	defer PutMsg(msg)
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(timeout))
-		pkt, err := ReadTCPMessage(conn)
+		var err error
+		pkt, err = readTCPMessageInto(conn, pkt)
 		if err != nil {
 			return
 		}
 		received := time.Now()
-		msg := new(Message)
 		if err := msg.Unpack(pkt); err != nil || msg.Response {
 			return
 		}
-		w := &tcpResponseWriter{conn: conn}
-		if s.overLimit(conn.RemoteAddr(), received) {
+		if s.overLimit(src.host, received) {
 			refuse(w, msg)
 			continue
 		}
 		s.serveRequest(w, &Request{
 			Msg:        msg,
-			RemoteAddr: conn.RemoteAddr(),
+			RemoteAddr: raddr,
 			Transport:  "tcp",
 			Received:   received,
+			remote:     src.str,
 		})
 		if s.closing() {
 			return
@@ -364,7 +461,9 @@ type udpResponseWriter struct {
 }
 
 func (w *udpResponseWriter) WriteMsg(m *Message) error {
-	packed, err := m.Pack()
+	bp := respBufPool.Get().(*[]byte)
+	defer respBufPool.Put(bp)
+	packed, err := m.AppendPack((*bp)[:0])
 	if err != nil {
 		return err
 	}
@@ -374,10 +473,11 @@ func (w *udpResponseWriter) WriteMsg(m *Message) error {
 		trunc := *m
 		trunc.Truncated = true
 		trunc.Answers, trunc.Authority, trunc.Additional = nil, nil, nil
-		if packed, err = trunc.Pack(); err != nil {
+		if packed, err = trunc.AppendPack(packed[:0]); err != nil {
 			return err
 		}
 	}
+	*bp = packed[:0] // keep any growth for the next response
 	_, err = w.pc.WriteTo(packed, w.raddr)
 	return err
 }
@@ -387,9 +487,21 @@ type tcpResponseWriter struct {
 }
 
 func (w *tcpResponseWriter) WriteMsg(m *Message) error {
-	packed, err := m.Pack()
+	bp := respBufPool.Get().(*[]byte)
+	defer respBufPool.Put(bp)
+	// Encode past a reserved two-octet length prefix (RFC 1035 §4.2.2)
+	// so frame and message go out in one write with no extra copy.
+	buf := append((*bp)[:0], 0, 0)
+	buf, err := m.AppendPack(buf)
 	if err != nil {
 		return err
 	}
-	return WriteTCPMessage(w.conn, packed)
+	n := len(buf) - 2
+	if n > 0xFFFF {
+		return ErrRDataTooLong
+	}
+	buf[0], buf[1] = byte(n>>8), byte(n)
+	*bp = buf[:0]
+	_, err = w.conn.Write(buf)
+	return err
 }

@@ -2,6 +2,7 @@ package dns
 
 import (
 	"context"
+	"net"
 	"net/netip"
 	"strings"
 	"sync"
@@ -176,10 +177,25 @@ func TestServerShutdownIdempotent(t *testing.T) {
 }
 
 func TestRequestMetadata(t *testing.T) {
-	got := make(chan *Request, 1)
+	// Request messages are pooled, so the handler must extract what it
+	// needs during ServeDNS rather than retaining r.Msg.
+	type meta struct {
+		transport string
+		remote    net.Addr
+		remoteStr string
+		received  time.Time
+		question  string
+	}
+	got := make(chan meta, 1)
 	addr := startTestServer(t, HandlerFunc(func(w ResponseWriter, r *Request) {
 		select {
-		case got <- r:
+		case got <- meta{
+			transport: r.Transport,
+			remote:    r.RemoteAddr,
+			remoteStr: r.RemoteString(),
+			received:  r.Received,
+			question:  r.Msg.Question().Name,
+		}:
 		default:
 		}
 		resp := new(Message).SetReply(r.Msg)
@@ -191,17 +207,19 @@ func TestRequestMetadata(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := <-got
-	if r.Transport != "udp" {
-		t.Errorf("transport %q", r.Transport)
+	if r.transport != "udp" {
+		t.Errorf("transport %q", r.transport)
 	}
-	if r.RemoteAddr == nil {
+	if r.remote == nil {
 		t.Error("missing remote address")
+	} else if r.remoteStr != r.remote.String() {
+		t.Errorf("RemoteString %q, want %q", r.remoteStr, r.remote.String())
 	}
-	if r.Received.Before(before.Add(-time.Second)) {
+	if r.received.Before(before.Add(-time.Second)) {
 		t.Error("implausible received timestamp")
 	}
-	if r.Msg.Question().Name != "meta.example.com." {
-		t.Errorf("question %q", r.Msg.Question().Name)
+	if r.question != "meta.example.com." {
+		t.Errorf("question %q", r.question)
 	}
 }
 

@@ -1,6 +1,9 @@
 package dns
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // Errors returned by message packing and unpacking.
 var (
@@ -9,19 +12,33 @@ var (
 	ErrStringTooLong    = errors.New("dns: character-string exceeds 255 octets")
 )
 
+// compressTableSize bounds how many emitted label sequences a builder
+// remembers as compression targets. Typical responses (a question plus
+// a handful of records sharing the zone suffix) need far fewer; when
+// the table fills, later names are simply emitted uncompressed.
+const compressTableSize = 24
+
 // builder accumulates the wire form of a message and tracks name
-// compression targets.
+// compression targets. It holds no heap state of its own: compression
+// offsets live in a fixed-size table and candidate suffixes are
+// compared against the already-emitted wire bytes, so message packing
+// allocates only when the destination buffer must grow.
 type builder struct {
-	buf      []byte
-	compress map[string]int
+	buf []byte
+	// base is the offset of the message start within buf, so AppendPack
+	// can encode into the tail of an existing buffer (e.g. after a TCP
+	// length prefix) with compression pointers staying message-relative.
+	base     int
+	nameOffs [compressTableSize]uint16
+	nNames   uint8
 }
 
 func newBuilder() *builder {
-	return &builder{
-		buf:      make([]byte, 0, 512),
-		compress: make(map[string]int),
-	}
+	return &builder{buf: make([]byte, 0, 512)}
 }
+
+// builderPool recycles builders for the pack path; see AppendPack.
+var builderPool = sync.Pool{New: func() any { return new(builder) }}
 
 func (b *builder) uint8(v uint8)   { b.buf = append(b.buf, v) }
 func (b *builder) uint16(v uint16) { b.buf = append(b.buf, byte(v>>8), byte(v)) }
@@ -92,6 +109,19 @@ func (p *parser) name() (string, error) {
 	}
 	p.off = next
 	return name, nil
+}
+
+// nameHint reads a name like name, but when the wire form equals hint
+// (a canonical name, typically the one a pooled Message parsed into
+// this slot last time) it returns hint without building a new string.
+func (p *parser) nameHint(hint string) (string, error) {
+	if hint != "" {
+		if end, ok := matchWireName(p.msg, p.off, hint); ok {
+			p.off = end
+			return hint, nil
+		}
+	}
+	return p.name()
 }
 
 func (p *parser) charString() (string, error) {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -82,39 +84,95 @@ type Zone struct {
 	// records) would otherwise pollute the measurement signal with
 	// meaningless attribution labels.
 	NoLog bool
+
+	// compileOnce guards the precomputed fields below, derived once (at
+	// Server.Start, or lazily on first use) so the per-query path never
+	// re-canonicalizes the suffix or re-derives the label depth.
+	compileOnce sync.Once
+	suffix      string // canonical Suffix
+	depth       int    // effective LabelDepth
+}
+
+// compile precomputes the zone's canonical suffix and effective depth.
+func (z *Zone) compile() {
+	z.compileOnce.Do(func() {
+		z.suffix = dns.CanonicalName(z.Suffix)
+		z.depth = z.LabelDepth
+		if z.depth == 0 {
+			z.depth = 2
+		}
+	})
+}
+
+// matchesSuffix reports whether the canonical name lies under the
+// compiled zone suffix, without allocating.
+func (z *Zone) matchesSuffix(name string) bool {
+	if z.suffix == "." {
+		return true
+	}
+	if len(name) == len(z.suffix) {
+		return name == z.suffix
+	}
+	return len(name) > len(z.suffix) && strings.HasSuffix(name, z.suffix) &&
+		name[len(name)-len(z.suffix)-1] == '.'
 }
 
 // parse attributes a query name within the zone. ok is false when the
-// name is not under the zone suffix.
+// name is not under the zone suffix. For the common attributed shapes
+// (<testid>.<mtaid>.<suffix> and <domainid>.<suffix>) it performs no
+// allocations beyond the Query itself: the identifying labels are
+// substrings of name, and Rest stays nil unless extra labels exist.
 func (z *Zone) parse(name string, qtype dns.Type, transport string, v6 bool) (*Query, bool) {
 	name = dns.CanonicalName(name)
-	suffix := dns.CanonicalName(z.Suffix)
-	if !dns.IsSubdomain(name, suffix) {
+	z.compile()
+	if !z.matchesSuffix(name) {
 		return nil, false
 	}
 	q := &Query{Name: name, Type: qtype, Transport: transport, OverIPv6: v6}
-	sub := strings.TrimSuffix(name, suffix)
+	sub := name[:len(name)-len(z.suffix)]
 	sub = strings.TrimSuffix(sub, ".")
 	if sub == "" {
 		return q, true // apex
 	}
-	labels := strings.Split(sub, ".")
-	depth := z.LabelDepth
-	if depth == 0 {
-		depth = 2
+	last := strings.LastIndexByte(sub, '.')
+	q.MTAID = sub[last+1:]
+	rest := ""
+	if last >= 0 {
+		rest = sub[:last]
 	}
-	switch {
-	case depth >= 2 && len(labels) >= 2:
-		q.MTAID = labels[len(labels)-1]
-		q.TestID = labels[len(labels)-2]
-		q.Rest = labels[:len(labels)-2]
-	default:
-		q.MTAID = labels[len(labels)-1]
-		q.Rest = labels[:len(labels)-1]
-		// Single-identifier zones key responders on the first rest
-		// label when present, otherwise the domain id itself.
+	if z.depth >= 2 && rest != "" {
+		if i := strings.LastIndexByte(rest, '.'); i >= 0 {
+			q.TestID = rest[i+1:]
+			rest = rest[:i]
+		} else {
+			q.TestID = rest
+			rest = ""
+		}
+	}
+	if rest != "" {
+		q.Rest = strings.Split(rest, ".")
 	}
 	return q, true
+}
+
+// responderFor selects the responder for an attributed query: two-label
+// zones key on the test-policy label, while single-identifier zones key
+// on the first rest label when present, otherwise the domain id itself.
+func (z *Zone) responderFor(q *Query) Responder {
+	key := q.TestID
+	if z.depth == 1 {
+		if len(q.Rest) > 0 {
+			key = q.Rest[0]
+		} else {
+			key = q.MTAID
+		}
+	}
+	if key != "" {
+		if r, ok := z.Responders[key]; ok {
+			return r
+		}
+	}
+	return z.Default
 }
 
 // Server is the synthesizing authoritative server. It binds an IPv4
@@ -145,12 +203,33 @@ type Server struct {
 	srv4 *dns.Server
 	srv6 *dns.Server
 
+	// initOnce guards ordered: the zones compiled and sorted
+	// longest-suffix-first at Start, so the per-query zoneFor walk is a
+	// first-match scan with no canonicalization or length bookkeeping.
+	initOnce sync.Once
+	ordered  []*Zone
+
 	panics atomic.Uint64
+}
+
+// init compiles every zone and orders them longest-suffix-first.
+func (s *Server) init() {
+	s.initOnce.Do(func() {
+		s.ordered = make([]*Zone, len(s.Zones))
+		copy(s.ordered, s.Zones)
+		for _, z := range s.ordered {
+			z.compile()
+		}
+		sort.SliceStable(s.ordered, func(i, j int) bool {
+			return len(s.ordered[i].suffix) > len(s.ordered[j].suffix)
+		})
+	})
 }
 
 // Start binds the endpoints and begins serving. It returns the bound
 // IPv4 address; Addr6Bound exposes the IPv6 one.
 func (s *Server) Start() (net.Addr, error) {
+	s.init()
 	addr4 := s.Addr4
 	if addr4 == "" {
 		addr4 = "127.0.0.1:0"
@@ -245,31 +324,34 @@ func (s *Server) ttl() uint32 {
 	return s.TTL
 }
 
-// zoneFor returns the longest-suffix zone containing name.
+// zoneFor returns the longest-suffix zone containing the canonical
+// name. The ordered index makes this a first-match scan.
 func (s *Server) zoneFor(name string) *Zone {
-	var best *Zone
-	bestLen := -1
-	for _, z := range s.Zones {
-		if dns.IsSubdomain(name, z.Suffix) {
-			if n := len(dns.CanonicalName(z.Suffix)); n > bestLen {
-				best, bestLen = z, n
-			}
+	s.init()
+	for _, z := range s.ordered {
+		if z.matchesSuffix(name) {
+			return z
 		}
 	}
-	return best
+	return nil
 }
 
 func (s *Server) handler(v6 bool) dns.Handler {
 	return dns.HandlerFunc(func(w dns.ResponseWriter, r *dns.Request) {
+		// r.Msg is pooled by the transport endpoint: everything the
+		// handler keeps past this call (names, attribution labels) is
+		// extracted here, never retained as references into r.Msg.
 		question := r.Msg.Question()
-		zone := s.zoneFor(question.Name)
+		name := dns.CanonicalName(question.Name)
+		zone := s.zoneFor(name)
 		if zone == nil {
-			resp := new(dns.Message).SetReply(r.Msg)
+			resp := dns.GetMsg().SetReply(r.Msg)
+			defer dns.PutMsg(resp)
 			resp.RCode = dns.RCodeRefused
 			_ = w.WriteMsg(resp)
 			return
 		}
-		q, _ := zone.parse(question.Name, question.Type, r.Transport, v6)
+		q, _ := zone.parse(name, question.Type, r.Transport, v6)
 
 		if s.Log != nil && !zone.NoLog {
 			s.Log.Append(LogEntry{
@@ -281,26 +363,22 @@ func (s *Server) handler(v6 bool) dns.Handler {
 				Rest:      q.Rest,
 				Transport: r.Transport,
 				OverIPv6:  v6,
-				Remote:    r.RemoteAddr.String(),
+				Remote:    r.RemoteString(),
 			})
 		}
 
-		resp := new(dns.Message).SetReply(r.Msg)
+		resp := dns.GetMsg().SetReply(r.Msg)
+		defer dns.PutMsg(resp)
 		resp.Authoritative = true
 
 		// Built-in apex records: SOA and the attribution contact.
-		if dns.EqualNames(q.Name, zone.Suffix) && (q.Type == dns.TypeSOA || q.Type == dns.TypeANY) {
+		if q.Name == zone.suffix && (q.Type == dns.TypeSOA || q.Type == dns.TypeANY) {
 			resp.Answers = append(resp.Answers, s.soa(zone))
 			_ = w.WriteMsg(resp)
 			return
 		}
 
-		responder := zone.Default
-		if q.TestID != "" {
-			if rsp, ok := zone.Responders[q.TestID]; ok {
-				responder = rsp
-			}
-		}
+		responder := zone.responderFor(q)
 		if responder == nil {
 			resp.RCode = dns.RCodeNameError
 			resp.Authority = append(resp.Authority, s.soa(zone))

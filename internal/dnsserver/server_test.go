@@ -268,6 +268,46 @@ func TestSingleLabelZone(t *testing.T) {
 	}
 }
 
+func TestSingleLabelZoneResponderKeying(t *testing.T) {
+	// Regression: single-identifier zones key responders on the first
+	// rest label when present, otherwise the domain id itself — queries
+	// like mta.<domainid>.<suffix> must reach Responders["mta"], and
+	// <domainid>.<suffix> must reach Responders["<domainid>"]. (They
+	// previously always fell through to Default because the lookup was
+	// keyed on the TestID field, which depth-1 parsing leaves empty.)
+	suffix := "dsav-mail.dns-lab.example."
+	tag := func(label string) Responder {
+		return ResponderFunc(func(q *Query) Response {
+			return Response{Records: []dns.RR{TXTRecord(q.Name, "resp="+label, 60)}}
+		})
+	}
+	zone := &Zone{
+		Suffix:     suffix,
+		LabelDepth: 1,
+		Responders: map[string]Responder{
+			"mta":   tag("mta"),
+			"d9999": tag("d9999"),
+		},
+		Default: tag("default"),
+	}
+	_, addr := startSynthServer(t, zone)
+
+	for _, tc := range []struct{ name, want string }{
+		{"mta.d0007." + suffix, "resp=mta"},       // first rest label
+		{"d9999." + suffix, "resp=d9999"},         // domain id itself
+		{"d0007." + suffix, "resp=default"},       // no dedicated responder
+		{"other.d0007." + suffix, "resp=default"}, // unknown rest label
+		// Leftmost rest label is the key, so an extra label shadows a
+		// keyed one further right.
+		{"deep.mta.d0007." + suffix, "resp=default"},
+	} {
+		got := txtPayload(t, queryTXT(t, addr, tc.name))
+		if got != tc.want {
+			t.Errorf("%s routed to %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
 func TestVoidResponder(t *testing.T) {
 	zone := &Zone{
 		Suffix: testSuffix,
