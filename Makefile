@@ -11,12 +11,16 @@ GO ?= go
 CHAOS_SEED ?= 42
 
 # Where `make bench` archives its parsed results.
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_6.json
 
-# The benchmarks that guard the serving hot path's allocation budget.
-HOT_BENCHES = BenchmarkServeHotPath|BenchmarkDNSMessagePackUnpack|BenchmarkSPFParse|BenchmarkQueryLogJSONRoundTrip
+# The baseline `make bench-diff` gates against.
+BENCH_BASELINE ?= BENCH_6.json
 
-.PHONY: check vet build test fuzz-seeds chaos bench bench-smoke
+# The benchmarks that guard the serving hot path's allocation budget
+# and the log codec / analysis ingest throughput.
+HOT_BENCHES = BenchmarkServeHotPath|BenchmarkDNSMessagePackUnpack|BenchmarkSPFParse|BenchmarkQueryLogJSONRoundTrip|BenchmarkLogCodec|BenchmarkParForEachLogJSON
+
+.PHONY: check vet build test fuzz-seeds chaos bench bench-smoke bench-diff
 
 check: vet build test fuzz-seeds bench-smoke
 
@@ -54,3 +58,12 @@ bench:
 	$(GO) test -run NONE -bench '$(HOT_BENCHES)' -benchmem -count 1 \
 		. ./internal/dnsserver/ | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
+
+# Re-measure the pinned benchmarks and fail if any ns/op number
+# regressed more than 20% against the committed baseline. Not part of
+# `make check`: a measurement run wants a quiet machine, so run it by
+# hand (or in a dedicated CI lane) before and after perf-sensitive
+# changes.
+bench-diff:
+	$(GO) test -run NONE -bench '$(HOT_BENCHES)' -benchmem -count 1 \
+		. ./internal/dnsserver/ | $(GO) run ./cmd/benchjson -diff $(BENCH_BASELINE)

@@ -8,13 +8,14 @@
 //
 // Usage:
 //
-//	analyze -log queries.jsonl [-fingerprints 10]
+//	analyze -log queries.jsonl [-fingerprints 10] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"sendervalid/internal/dnsserver"
 	"sendervalid/internal/experiment"
@@ -25,6 +26,8 @@ func main() {
 	var (
 		logPath = flag.String("log", "", "query log file (JSON lines; required)")
 		topFP   = flag.Int("fingerprints", 10, "behaviour families to show")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"parallel log-decode workers (1 = serial)")
 	)
 	flag.Parse()
 	if *logPath == "" {
@@ -40,12 +43,15 @@ func main() {
 
 	// Stream the log rather than slurping it: every analysis below
 	// ignores queries it cannot attribute to an MTA, so only the
-	// attributed subset is retained in memory.
+	// attributed subset is retained in memory. Decoding fans out over
+	// -workers goroutines; the ordered merge delivers entries in file
+	// order, so the output is identical to a serial scan at any worker
+	// count.
 	var entries []dnsserver.LogEntry
 	total := 0
 	mtas := map[string]bool{}
 	tests := map[string]bool{}
-	err = dnsserver.ForEachLogJSON(f, func(e dnsserver.LogEntry) error {
+	err = dnsserver.ParForEachLogJSONOrdered(f, *workers, func(e dnsserver.LogEntry) error {
 		total++
 		if e.TestID != "" {
 			tests[e.TestID] = true

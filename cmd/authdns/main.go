@@ -96,12 +96,14 @@ func main() {
 			if *quiet {
 				continue
 			}
-			entries := log.Entries()
-			for _, e := range entries[printed:] {
+			// Since copies only the unseen tail, not the whole log
+			// every tick.
+			tail := log.Since(printed)
+			for _, e := range tail {
 				fmt.Printf("%s %-4s %-5s test=%-4s mta=%-8s %s\n",
 					e.Time.Format("15:04:05.000"), e.Transport, e.Type, e.TestID, e.MTAID, e.Name)
 			}
-			printed = len(entries)
+			printed += len(tail)
 		case <-stop:
 			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 			defer cancel()

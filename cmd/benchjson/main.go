@@ -7,11 +7,19 @@
 // Usage:
 //
 //	go test -run NONE -bench . -benchmem ./... | benchjson > BENCH.json
+//
+// With -diff it becomes the perf-regression gate: the current run is
+// read from stdin as usual, compared against an archived baseline,
+// and the exit status is 1 if any benchmark present in both regressed
+// by more than -tolerance in ns/op:
+//
+//	go test -run NONE -bench "$(HOT_BENCHES)" -benchmem ./... | benchjson -diff BENCH_6.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -40,6 +48,14 @@ type document struct {
 }
 
 func main() {
+	var (
+		diffPath = flag.String("diff", "",
+			"baseline BENCH_*.json to compare against instead of emitting JSON")
+		tolerance = flag.Float64("tolerance", 0.20,
+			"allowed fractional ns/op regression in -diff mode")
+	)
+	flag.Parse()
+
 	doc := document{Context: map[string]string{}, Benchmarks: []result{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -68,12 +84,93 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
 		os.Exit(1)
 	}
+	if *diffPath != "" {
+		os.Exit(diff(doc, *diffPath, *tolerance))
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// diff compares the current run against the archived baseline and
+// returns the process exit code: 0 when every benchmark present in
+// both is within tolerance, 1 when any ns/op regressed past it.
+// Benchmarks only one side knows (renamed, newly added, machine with
+// a different GOMAXPROCS suffix) are reported but never fatal.
+func diff(cur document, baselinePath string, tolerance float64) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
+		return 1
+	}
+	var base document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing baseline %s: %v\n", baselinePath, err)
+		return 1
+	}
+	baseline := map[string]result{}
+	for _, r := range base.Benchmarks {
+		baseline[trimProcSuffix(r.Name)] = r
+	}
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks on stdin")
+		return 1
+	}
+	regressions := 0
+	compared := 0
+	for _, r := range cur.Benchmarks {
+		name := trimProcSuffix(r.Name)
+		b, ok := baseline[name]
+		if !ok {
+			fmt.Printf("  new  %-60s %12.0f ns/op (not in baseline)\n", name, r.NsPerOp)
+			continue
+		}
+		if b.NsPerOp == 0 || r.NsPerOp == 0 {
+			continue
+		}
+		compared++
+		delta := r.NsPerOp/b.NsPerOp - 1
+		status := "  ok "
+		if delta > tolerance {
+			status = " FAIL"
+			regressions++
+		}
+		fmt.Printf("%s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			status, name, b.NsPerOp, r.NsPerOp, 100*delta)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks in common with %s\n", baselinePath)
+		return 1
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d of %d benchmarks regressed more than %.0f%% vs %s\n",
+			regressions, compared, 100*tolerance, baselinePath)
+		return 1
+	}
+	fmt.Printf("benchjson: %d benchmarks within %.0f%% of %s\n", compared, 100*tolerance, baselinePath)
+	return 0
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix go test appends to
+// benchmark names, so runs from machines with different core counts
+// still line up.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
 }
 
 // parseBench decodes one "BenchmarkName-8  N  v unit  v unit ..." line.

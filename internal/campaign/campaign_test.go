@@ -143,30 +143,36 @@ func TestResumeAfterCancel(t *testing.T) {
 	tasks := tasksFor(12, 4)
 	var journal bytes.Buffer
 
+	// Phase 1: cancel deterministically once exactly half the tasks
+	// succeed. The half-th success triggers cancel from inside runFn;
+	// any task reaching the gate afterwards blocks until the context
+	// dies and returns its error, which DefaultClassify maps to
+	// Aborted — a voided attempt that stays pending for the resumed
+	// run.
+	ctx, cancel := context.WithCancel(context.Background())
+	half := len(tasks) / 2
+
 	var mu sync.Mutex
+	gated := true
 	completions := make(map[Key]int) // successful-outcome count per task
 
 	runFn := func(ctx context.Context, task Task) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
 		mu.Lock()
+		if gated && len(completions) >= half {
+			mu.Unlock()
+			<-ctx.Done()
+			return ctx.Err()
+		}
 		completions[task.Key()]++
+		if len(completions) == half {
+			cancel()
+		}
 		mu.Unlock()
 		return nil
 	}
 
-	// Phase 1: cancel after roughly half the tasks complete.
-	ctx, cancel := context.WithCancel(context.Background())
 	c1 := New(Config{Workers: 3, Journal: &journal}, runFn)
-	half := len(tasks) / 2
 	c1.Add(tasks...)
-	go func() {
-		for c1.Snapshot().Completed() < half {
-			time.Sleep(time.Millisecond)
-		}
-		cancel()
-	}()
 	if err := c1.Run(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled run returned %v", err)
 	}
@@ -193,6 +199,9 @@ func TestResumeAfterCancel(t *testing.T) {
 		}
 	}
 
+	mu.Lock()
+	gated = false // phase 2 runs the leftover tasks to completion
+	mu.Unlock()
 	c2 := New(Config{Workers: 3, Journal: &journal}, runFn)
 	c2.Add(remaining...)
 	if err := c2.Run(context.Background()); err != nil {

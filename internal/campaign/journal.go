@@ -2,7 +2,6 @@ package campaign
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -42,28 +41,26 @@ type event struct {
 // journalWriter serializes events to the configured sink. A nil sink
 // makes every method a no-op, so journaling is strictly opt-in.
 type journalWriter struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
 }
 
 func newJournalWriter(w io.Writer) *journalWriter {
 	return &journalWriter{w: w}
 }
 
-// event appends one line. Write errors are swallowed after the first:
-// losing the journal must not take the campaign down with it.
+// event appends one line through the reflection-free encoder, reusing
+// one buffer across events. Write errors are swallowed after the
+// first: losing the journal must not take the campaign down with it.
 func (j *journalWriter) event(e event) {
 	if j == nil || j.w == nil {
 		return
 	}
 	e.Time = time.Now()
-	line, err := json.Marshal(&e)
-	if err != nil {
-		return
-	}
-	line = append(line, '\n')
 	j.mu.Lock()
-	if _, err := j.w.Write(line); err != nil {
+	j.buf = appendEventJSON(j.buf[:0], &e)
+	if _, err := j.w.Write(j.buf); err != nil {
 		j.w = nil
 	}
 	j.mu.Unlock()
@@ -127,13 +124,14 @@ func ReadJournal(r io.Reader) (*Replay, error) {
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var p eventParser
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var e event
-		if err := json.Unmarshal(line, &e); err != nil {
+		e, err := p.parse(line)
+		if err != nil {
 			rp.Malformed++
 			continue
 		}

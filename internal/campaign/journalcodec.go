@@ -1,0 +1,292 @@
+package campaign
+
+import (
+	"bytes"
+	"strconv"
+
+	"sendervalid/internal/jsonwire"
+)
+
+// The journal's JSONL wire format, identical to what encoding/json
+// produced for the event struct (the fuzz test pins the equivalence):
+//
+//	{"t":<RFC3339Nano>,"ev":<string>,"k":{"mta":<string>,"test":<string>},
+//	 "n":<int,omitempty>,"err":<string,omitempty>,"delay_ms":<int,omitempty>}
+//
+// one event per line. Like the query-log codec in internal/dnsserver,
+// encode and decode are hand-rolled append/scan paths: the journal
+// write sits on the campaign's task-transition path (every attempt,
+// retry, and completion), and replay on resume walks the whole file,
+// so neither should pay reflection per record.
+
+// appendEventJSON encodes e as one journal line, including the
+// trailing newline, byte-identical to json.Marshal of the event
+// struct.
+func appendEventJSON(dst []byte, e *event) []byte {
+	dst = append(dst, `{"t":`...)
+	dst = jsonwire.AppendTime(dst, e.Time)
+	dst = append(dst, `,"ev":`...)
+	dst = jsonwire.AppendString(dst, e.Ev)
+	dst = append(dst, `,"k":{"mta":`...)
+	dst = jsonwire.AppendString(dst, e.Key.MTA)
+	dst = append(dst, `,"test":`...)
+	dst = jsonwire.AppendString(dst, e.Key.Test)
+	dst = append(dst, '}')
+	if e.N != 0 {
+		dst = append(dst, `,"n":`...)
+		dst = strconv.AppendInt(dst, int64(e.N), 10)
+	}
+	if e.Err != "" {
+		dst = append(dst, `,"err":`...)
+		dst = jsonwire.AppendString(dst, e.Err)
+	}
+	if e.DelayMS != 0 {
+		dst = append(dst, `,"delay_ms":`...)
+		dst = strconv.AppendInt(dst, e.DelayMS, 10)
+	}
+	return append(dst, '}', '\n')
+}
+
+// internEv returns the canonical constant for a decoded event kind so
+// replaying a journal does not allocate one string per line; "" means
+// the kind is not one of the five known constants.
+func internEv(b []byte) string {
+	switch string(b) { // compiled to a jump table; no allocation
+	case evEnqueue:
+		return evEnqueue
+	case evAttempt:
+		return evAttempt
+	case evRetry:
+		return evRetry
+	case evDone:
+		return evDone
+	case evFailed:
+		return evFailed
+	}
+	return ""
+}
+
+// eventSpan locates one decoded string inside the parser's scratch
+// buffer.
+type eventSpan struct{ off, end int }
+
+// eventParser decodes one journal line without encoding/json,
+// reusable across lines like dnsserver's logLineParser.
+type eventParser struct {
+	doc     jsonwire.Doc
+	scratch []byte
+	keyBuf  []byte
+}
+
+var eventFieldNames = [][]byte{
+	[]byte("t"), []byte("ev"), []byte("k"),
+	[]byte("n"), []byte("err"), []byte("delay_ms"),
+}
+
+var keyFieldNames = [][]byte{[]byte("mta"), []byte("test")}
+
+// matchKey resolves a decoded object key against names: exact match
+// first, then bytes.EqualFold for encoding/json's case-insensitive
+// fallback.
+func matchKey(key []byte, names [][]byte) int {
+	for i, name := range names {
+		if bytes.Equal(key, name) {
+			return i
+		}
+	}
+	for i, name := range names {
+		if bytes.EqualFold(key, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *eventParser) stringSpan(s *eventSpan, set *bool) error {
+	d := &p.doc
+	d.WS()
+	if isNull, err := d.TryNull(); isNull || err != nil {
+		return err
+	}
+	start := len(p.scratch)
+	var err error
+	p.scratch, err = d.ReadString(p.scratch)
+	if err != nil {
+		return err
+	}
+	*s = eventSpan{off: start, end: len(p.scratch)}
+	if set != nil {
+		*set = true
+	}
+	return nil
+}
+
+// objectKey reads the next key of the current object, unescaping into
+// keyBuf when needed.
+func (p *eventParser) objectKey(first bool) (key []byte, more bool, err error) {
+	raw, more, err := p.doc.NextKey(first)
+	if err != nil || !more {
+		return nil, more, err
+	}
+	if bytes.IndexByte(raw, '\\') >= 0 {
+		p.keyBuf = jsonwire.Unescape(p.keyBuf[:0], raw)
+		return p.keyBuf, true, nil
+	}
+	return raw, true, nil
+}
+
+// intField parses an int-typed field (or null, a no-op) into *v.
+func (p *eventParser) intField(v *int64) error {
+	d := &p.doc
+	d.WS()
+	if isNull, err := d.TryNull(); isNull || err != nil {
+		return err
+	}
+	n, err := d.Int()
+	if err != nil {
+		return err
+	}
+	*v = n
+	return nil
+}
+
+// parse decodes one journal line. Known event kinds are interned; the
+// two key strings share one backing allocation.
+func (p *eventParser) parse(line []byte) (event, error) {
+	p.scratch = p.scratch[:0]
+
+	var (
+		e         event
+		ev, errs  eventSpan
+		mta, test eventSpan
+		evSet     bool
+		n, delay  int64
+	)
+
+	d := &p.doc
+	d.Init(line)
+	d.WS()
+	if isNull, err := d.TryNull(); err != nil {
+		return event{}, err
+	} else if isNull {
+		// json.Unmarshal accepts a null document as a zero event.
+		if err := d.End(); err != nil {
+			return event{}, err
+		}
+		return event{}, nil
+	}
+	if err := d.ObjectStart(); err != nil {
+		return event{}, err
+	}
+	for first := true; ; first = false {
+		key, more, err := p.objectKey(first)
+		if err != nil {
+			return event{}, err
+		}
+		if !more {
+			break
+		}
+		switch matchKey(key, eventFieldNames) {
+		case 0: // t
+			d.WS()
+			if isNull, err := d.TryNull(); err != nil {
+				return event{}, err
+			} else if !isNull {
+				raw, err := d.RawString()
+				if err != nil {
+					return event{}, err
+				}
+				e.Time, err = jsonwire.ParseTime(raw)
+				if err != nil {
+					return event{}, err
+				}
+			}
+		case 1: // ev
+			if err := p.stringSpan(&ev, &evSet); err != nil {
+				return event{}, err
+			}
+		case 2: // k
+			d.WS()
+			if isNull, err := d.TryNull(); err != nil {
+				return event{}, err
+			} else if isNull {
+				break
+			}
+			if err := d.ObjectStart(); err != nil {
+				return event{}, err
+			}
+			for kfirst := true; ; kfirst = false {
+				kkey, more, err := p.objectKey(kfirst)
+				if err != nil {
+					return event{}, err
+				}
+				if !more {
+					break
+				}
+				switch matchKey(kkey, keyFieldNames) {
+				case 0:
+					if err := p.stringSpan(&mta, nil); err != nil {
+						return event{}, err
+					}
+				case 1:
+					if err := p.stringSpan(&test, nil); err != nil {
+						return event{}, err
+					}
+				default:
+					if err := d.SkipValue(); err != nil {
+						return event{}, err
+					}
+				}
+			}
+		case 3: // n
+			if err := p.intField(&n); err != nil {
+				return event{}, err
+			}
+			// json.Unmarshal range-checks against the field's width.
+			if int64(int(n)) != n {
+				return event{}, strconv.ErrRange
+			}
+		case 4: // err
+			if err := p.stringSpan(&errs, nil); err != nil {
+				return event{}, err
+			}
+		case 5: // delay_ms
+			if err := p.intField(&delay); err != nil {
+				return event{}, err
+			}
+		default:
+			if err := d.SkipValue(); err != nil {
+				return event{}, err
+			}
+		}
+	}
+	if err := d.End(); err != nil {
+		return event{}, err
+	}
+
+	// One backing string for every decoded string field; the event
+	// kind is interned so the common case stays at one allocation.
+	backing := ""
+	get := func(s eventSpan) string {
+		if s.off == s.end {
+			return ""
+		}
+		if backing == "" {
+			backing = string(p.scratch)
+		}
+		return backing[s.off:s.end]
+	}
+	if evSet {
+		if s := internEv(p.scratch[ev.off:ev.end]); s != "" {
+			e.Ev = s
+		} else {
+			e.Ev = get(ev)
+		}
+	}
+	e.Key.MTA = get(mta)
+	e.Key.Test = get(test)
+	e.Err = get(errs)
+	e.N = int(n)
+	e.DelayMS = delay
+	return e, nil
+}

@@ -1,0 +1,109 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzJournalCodecEquivalence pins the journal's hand-rolled codec to
+// the encoding/json reference the wire format is defined by: decoders
+// must agree on success/failure and produce identical events, and
+// re-encoding a decoded event must reproduce json.Marshal's bytes.
+func FuzzJournalCodecEquivalence(f *testing.F) {
+	f.Add([]byte(`{"t":"2026-08-08T12:00:00.123456789Z","ev":"retry","k":{"mta":"example.com","test":"t07"},"n":2,"err":"dial tcp: timeout","delay_ms":30000}`))
+	f.Add([]byte(`{"t":"2026-08-08T12:00:00Z","ev":"enqueue","k":{"mta":"a","test":"b"}}`))
+	f.Add([]byte(`{"t":"2026-08-08T12:00:00Z","ev":"done","k":{"test":"swap","mta":"péll\u00f6.example"},"n":1}`))
+	f.Add([]byte(`{"t":null,"ev":null,"k":null,"n":null}`))
+	f.Add([]byte(`{"EV":"attempt","K":{"MTA":"fold"},"N":3,"DELAY_MS":7}`))
+	f.Add([]byte(`{"ev":"custom-kind","k":{"mta":"x","extra":[1,2,{"y":null}]}}`))
+	f.Add([]byte(`{"n":9223372036854775807,"delay_ms":-9223372036854775808}`))
+	f.Add([]byte(`{"n":1.5}`))
+	f.Add([]byte(`{"n":1e3}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"t":"2026-08-08T12:0`)) // torn crash-time write
+	f.Add([]byte(`{"ev":"done","k":{"mta":"a"},"k":{"test":"b"}}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		if bytes.IndexByte(line, '\n') >= 0 {
+			t.Skip() // the scanner hands the codec single lines
+		}
+		var p eventParser
+		got, gotErr := p.parse(line)
+		var want event
+		wantErr := json.Unmarshal(line, &want)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("decode disagreement on %q:\n codec: %+v, %v\n   ref: %+v, %v",
+				line, got, gotErr, want, wantErr)
+		}
+		if gotErr != nil {
+			return
+		}
+		if !got.Time.Equal(want.Time) {
+			t.Errorf("Time: got %v, want %v", got.Time, want.Time)
+		}
+		gName, gOff := got.Time.Zone()
+		wName, wOff := want.Time.Zone()
+		if gName != wName || gOff != wOff {
+			t.Errorf("Time zone: got %q/%d, want %q/%d", gName, gOff, wName, wOff)
+		}
+		got.Time, want.Time = time.Time{}, time.Time{}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("event mismatch on %q:\n got %+v\nwant %+v", line, got, want)
+		}
+
+		refBytes, err := json.Marshal(&got)
+		if err != nil {
+			t.Fatalf("reference re-encode failed: %v", err)
+		}
+		refBytes = append(refBytes, '\n')
+		if gotBytes := appendEventJSON(nil, &got); !bytes.Equal(gotBytes, refBytes) {
+			t.Errorf("encode mismatch:\n codec %q\n   ref %q", gotBytes, refBytes)
+		}
+	})
+}
+
+// TestEventParseAllocBudget pins replay's per-line cost: a known
+// event kind is interned and both key strings share one backing
+// allocation.
+func TestEventParseAllocBudget(t *testing.T) {
+	e := event{
+		Time:    time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Ev:      evRetry,
+		Key:     Key{MTA: "example.com", Test: "t07"},
+		N:       2,
+		Err:     "dial tcp: timeout",
+		DelayMS: 30000,
+	}
+	line := appendEventJSON(nil, &e)
+	var p eventParser
+	if _, err := p.parse(line); err != nil { // warm the scratch buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := p.parse(line); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("parse with reused parser: %v allocs/op, want <= 1 (backing string)", allocs)
+	}
+}
+
+func TestAppendEventJSONZeroAlloc(t *testing.T) {
+	e := event{
+		Time: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Ev:   evDone,
+		Key:  Key{MTA: "example.com", Test: "t07"},
+		N:    1,
+	}
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = appendEventJSON(buf[:0], &e)
+	})
+	if allocs != 0 {
+		t.Errorf("appendEventJSON into reused buffer: %v allocs/op, want 0", allocs)
+	}
+}

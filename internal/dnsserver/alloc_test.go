@@ -1,0 +1,68 @@
+package dnsserver
+
+import (
+	"testing"
+	"time"
+
+	"sendervalid/internal/dns"
+)
+
+// The log codec promises zero-allocation encode into a reused buffer
+// and at-most-two-allocations decode with a reused parser (one
+// backing string shared by every string field, plus the Rest slice).
+// These tests pin that contract so a regression shows up as a test
+// failure, not just a drifting benchmark number.
+
+func allocTestEntry() LogEntry {
+	return LogEntry{
+		Time:      time.Date(2026, 8, 8, 12, 0, 0, 123456789, time.UTC),
+		Name:      "x.t07.m000042.spf-test.dns-lab.example.",
+		Type:      dns.TypeTXT,
+		TestID:    "t07",
+		MTAID:     "m000042",
+		Rest:      []string{"l1"},
+		Transport: "udp",
+		OverIPv6:  true,
+		Remote:    "198.51.100.7:53",
+	}
+}
+
+func TestAppendLogJSONZeroAlloc(t *testing.T) {
+	e := allocTestEntry()
+	buf := make([]byte, 0, 512)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendLogJSON(buf[:0], e)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendLogJSON into reused buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestLogLineParseAllocBudget(t *testing.T) {
+	line := AppendLogJSON(nil, allocTestEntry())
+	var p logLineParser
+	if _, err := p.parse(line); err != nil { // warm the scratch buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := p.parse(line); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("parse with reused parser: %v allocs/op, want <= 2 (backing string + Rest)", allocs)
+	}
+
+	// Without a rest array the slice allocation disappears too.
+	noRest := allocTestEntry()
+	noRest.Rest = nil
+	line = AppendLogJSON(line[:0], noRest)
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := p.parse(line); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("parse without rest: %v allocs/op, want <= 1 (backing string)", allocs)
+	}
+}

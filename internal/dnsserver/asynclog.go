@@ -2,7 +2,6 @@ package dnsserver
 
 import (
 	"bufio"
-	"encoding/json"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -77,20 +76,22 @@ func (a *AsyncLog) Close() {
 
 // WriterSink streams entries to w as JSON lines — the blocking disk
 // sink AsyncLog is designed to wrap. It is safe for concurrent use.
+// Encoding goes through the reflection-free AppendLogJSON into a
+// buffer reused across entries, so steady-state appends allocate
+// nothing.
 type WriterSink struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
-	enc *json.Encoder
+	buf []byte
 	err error
 }
 
 // NewWriterSink buffers writes to w.
 func NewWriterSink(w io.Writer) *WriterSink {
-	bw := bufio.NewWriter(w)
-	return &WriterSink{bw: bw, enc: json.NewEncoder(bw)}
+	return &WriterSink{bw: bufio.NewWriter(w), buf: make([]byte, 0, 512)}
 }
 
-// Append implements Sink. Encoding errors are sticky and surfaced by
+// Append implements Sink. Write errors are sticky and surfaced by
 // Flush.
 func (s *WriterSink) Append(e LogEntry) {
 	s.mu.Lock()
@@ -98,12 +99,8 @@ func (s *WriterSink) Append(e LogEntry) {
 	if s.err != nil {
 		return
 	}
-	rec := logRecord{
-		Time: e.Time, Name: e.Name, Type: e.Type.String(),
-		TestID: e.TestID, MTAID: e.MTAID, Rest: e.Rest,
-		Transport: e.Transport, OverIPv6: e.OverIPv6, Remote: e.Remote,
-	}
-	s.err = s.enc.Encode(&rec)
+	s.buf = AppendLogJSON(s.buf[:0], e)
+	_, s.err = s.bw.Write(s.buf)
 }
 
 // Flush drains the buffer and returns the first error encountered.

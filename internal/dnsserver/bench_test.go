@@ -1,9 +1,11 @@
 package dnsserver
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -124,4 +126,84 @@ func BenchmarkServeHotPath(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkLogCodec measures the per-record codec in isolation:
+// encode into a reused buffer, decode with a reused parser. These are
+// the units the analysis ingest pipeline multiplies by millions of
+// records.
+func BenchmarkLogCodec(b *testing.B) {
+	e := LogEntry{
+		Time:      time.Date(2026, 8, 8, 12, 0, 0, 123456789, time.UTC),
+		Name:      "x.t07.m000042.spf-test.dns-lab.example.",
+		Type:      dns.TypeTXT,
+		TestID:    "t07",
+		MTAID:     "m000042",
+		Rest:      []string{"l1"},
+		Transport: "udp",
+		OverIPv6:  true,
+		Remote:    "198.51.100.7:53",
+	}
+	b.Run("encode", func(b *testing.B) {
+		buf := make([]byte, 0, 512)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = AppendLogJSON(buf[:0], e)
+		}
+		b.SetBytes(int64(len(buf)))
+	})
+	b.Run("decode", func(b *testing.B) {
+		line := AppendLogJSON(nil, e)
+		var p logLineParser
+		b.SetBytes(int64(len(line)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.parse(line); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParForEachLogJSON measures analysis ingest throughput over
+// an in-memory log at fixed worker counts (fixed, rather than
+// GOMAXPROCS-derived, so benchmark names are stable across machines).
+func BenchmarkParForEachLogJSON(b *testing.B) {
+	var (
+		buf  []byte
+		base = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	)
+	for i := 0; i < 50000; i++ {
+		buf = AppendLogJSON(buf, LogEntry{
+			Time:      base.Add(time.Duration(i) * time.Millisecond),
+			Name:      fmt.Sprintf("x.t%02d.m%06d.spf-test.dns-lab.example.", i%39, i),
+			Type:      dns.TypeTXT,
+			TestID:    fmt.Sprintf("t%02d", i%39),
+			MTAID:     fmt.Sprintf("m%06d", i),
+			Transport: "udp",
+			Remote:    "198.51.100.7:53",
+		})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(buf)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var n atomic.Int64
+				err := ParForEachLogJSON(bytes.NewReader(buf), workers, func(LogEntry) error {
+					n.Add(1)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n.Load() != 50000 {
+					b.Fatalf("decoded %d entries, want 50000", n.Load())
+				}
+			}
+		})
+	}
 }

@@ -68,6 +68,32 @@ func (l *QueryLog) Entries() []LogEntry {
 	return append([]LogEntry(nil), l.entries...)
 }
 
+// Since returns a snapshot of the entries appended after the first n
+// — the tail-polling pattern (authdns's once-a-second printer) without
+// re-copying the whole log every poll.
+func (l *QueryLog) Since(n int) []LogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n >= len(l.entries) {
+		return nil
+	}
+	return append([]LogEntry(nil), l.entries[n:]...)
+}
+
+// forEach visits every entry in arrival order under the log's lock,
+// stopping early when fn returns false. It exists so WriteJSON and
+// the grouping helpers can stream a large log without the full-slice
+// copy Entries makes; fn must not call back into the log.
+func (l *QueryLog) forEach(fn func(*LogEntry) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.entries {
+		if !fn(&l.entries[i]) {
+			return
+		}
+	}
+}
+
 // Len returns the number of logged queries.
 func (l *QueryLog) Len() int {
 	l.mu.Lock()
@@ -85,32 +111,35 @@ func (l *QueryLog) Reset() {
 // ByMTA groups a snapshot of the log by MTAID.
 func (l *QueryLog) ByMTA() map[string][]LogEntry {
 	out := make(map[string][]LogEntry)
-	for _, e := range l.Entries() {
+	l.forEach(func(e *LogEntry) bool {
 		if e.MTAID != "" {
-			out[e.MTAID] = append(out[e.MTAID], e)
+			out[e.MTAID] = append(out[e.MTAID], *e)
 		}
-	}
+		return true
+	})
 	return out
 }
 
 // ByTest groups a snapshot of the log by TestID.
 func (l *QueryLog) ByTest() map[string][]LogEntry {
 	out := make(map[string][]LogEntry)
-	for _, e := range l.Entries() {
+	l.forEach(func(e *LogEntry) bool {
 		if e.TestID != "" {
-			out[e.TestID] = append(out[e.TestID], e)
+			out[e.TestID] = append(out[e.TestID], *e)
 		}
-	}
+		return true
+	})
 	return out
 }
 
 // Filter returns the entries for which keep returns true.
 func (l *QueryLog) Filter(keep func(LogEntry) bool) []LogEntry {
 	var out []LogEntry
-	for _, e := range l.Entries() {
-		if keep(e) {
-			out = append(out, e)
+	l.forEach(func(e *LogEntry) bool {
+		if keep(*e) {
+			out = append(out, *e)
 		}
-	}
+		return true
+	})
 	return out
 }

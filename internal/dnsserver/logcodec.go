@@ -1,0 +1,590 @@
+package dnsserver
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+
+	"sendervalid/internal/dns"
+	"sendervalid/internal/jsonwire"
+)
+
+// The query log's JSONL wire format, fixed since the format was
+// introduced and identical to what encoding/json produced for the old
+// logRecord struct (fuzz tests pin the equivalence byte for byte):
+//
+//	{"t":<RFC3339Nano>,"name":<string>,"type":<mnemonic-or-TYPEn>,
+//	 "test":<string,omitempty>,"mta":<string,omitempty>,
+//	 "rest":<[]string,omitempty>,"via":<string,omitempty>,
+//	 "v6":<bool,omitempty>,"remote":<string,omitempty>}
+//
+// one record per line. Encoding and decoding go through hand-rolled
+// append/scan paths (no encoding/json, no reflection, no fmt) so the
+// collect-and-analyze loop keeps up with the allocation-free serving
+// path: encode is zero-alloc into a reused buffer, decode costs at
+// most two allocations per record (one backing string shared by all
+// string fields, plus the Rest slice when present).
+
+// AppendLogJSON encodes e as one query-log JSON line — including the
+// trailing newline — and appends it to dst, returning the extended
+// buffer. The bytes are identical to what the encoding/json-based
+// writer historically produced. Timestamps are assumed to be in the
+// RFC 3339 year range [0,9999], which holds for every clock-derived
+// or log-parsed time.
+func AppendLogJSON(dst []byte, e LogEntry) []byte {
+	dst = append(dst, `{"t":`...)
+	dst = jsonwire.AppendTime(dst, e.Time)
+	dst = append(dst, `,"name":`...)
+	dst = jsonwire.AppendString(dst, e.Name)
+	dst = append(dst, `,"type":`...)
+	dst = appendTypeJSON(dst, e.Type)
+	if e.TestID != "" {
+		dst = append(dst, `,"test":`...)
+		dst = jsonwire.AppendString(dst, e.TestID)
+	}
+	if e.MTAID != "" {
+		dst = append(dst, `,"mta":`...)
+		dst = jsonwire.AppendString(dst, e.MTAID)
+	}
+	if len(e.Rest) > 0 {
+		dst = append(dst, `,"rest":[`...)
+		for i, s := range e.Rest {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = jsonwire.AppendString(dst, s)
+		}
+		dst = append(dst, ']')
+	}
+	if e.Transport != "" {
+		dst = append(dst, `,"via":`...)
+		dst = jsonwire.AppendString(dst, e.Transport)
+	}
+	if e.OverIPv6 {
+		dst = append(dst, `,"v6":true`...)
+	}
+	if e.Remote != "" {
+		dst = append(dst, `,"remote":`...)
+		dst = jsonwire.AppendString(dst, e.Remote)
+	}
+	return append(dst, '}', '\n')
+}
+
+// appendTypeJSON appends the quoted Type mnemonic without going
+// through fmt (dns.Type.String allocates via Sprintf for unknown
+// types).
+func appendTypeJSON(dst []byte, t dns.Type) []byte {
+	if s := typeMnemonic(t); s != "" {
+		dst = append(dst, '"')
+		dst = append(dst, s...)
+		return append(dst, '"')
+	}
+	dst = append(dst, `"TYPE`...)
+	dst = strconv.AppendUint(dst, uint64(t), 10)
+	return append(dst, '"')
+}
+
+// typeMnemonic is the map-free inverse of the log's type mnemonics;
+// "" means the TYPEn form (RFC 3597) is needed.
+func typeMnemonic(t dns.Type) string {
+	switch t {
+	case dns.TypeA:
+		return "A"
+	case dns.TypeNS:
+		return "NS"
+	case dns.TypeCNAME:
+		return "CNAME"
+	case dns.TypeSOA:
+		return "SOA"
+	case dns.TypePTR:
+		return "PTR"
+	case dns.TypeMX:
+		return "MX"
+	case dns.TypeTXT:
+		return "TXT"
+	case dns.TypeAAAA:
+		return "AAAA"
+	case dns.TypeOPT:
+		return "OPT"
+	case dns.TypeSPF:
+		return "SPF"
+	case dns.TypeANY:
+		return "ANY"
+	case dns.TypeNone:
+		return "NONE"
+	}
+	return ""
+}
+
+// parseType resolves a decoded type mnemonic. The TYPEn form is
+// parsed directly — digits only, value up to 65535 — instead of the
+// old fmt.Sscanf("TYPE%d") round trip, which silently accepted
+// trailing garbage ("TYPE12abc").
+func parseType(b []byte) (dns.Type, bool) {
+	switch string(b) { // compiled to a jump table; no allocation
+	case "A":
+		return dns.TypeA, true
+	case "NS":
+		return dns.TypeNS, true
+	case "CNAME":
+		return dns.TypeCNAME, true
+	case "SOA":
+		return dns.TypeSOA, true
+	case "PTR":
+		return dns.TypePTR, true
+	case "MX":
+		return dns.TypeMX, true
+	case "TXT":
+		return dns.TypeTXT, true
+	case "AAAA":
+		return dns.TypeAAAA, true
+	case "OPT":
+		return dns.TypeOPT, true
+	case "SPF":
+		return dns.TypeSPF, true
+	case "ANY":
+		return dns.TypeANY, true
+	case "NONE":
+		return dns.TypeNone, true
+	}
+	if len(b) < 5 || string(b[:4]) != "TYPE" {
+		return 0, false
+	}
+	v := 0
+	for _, c := range b[4:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+		if v > 0xFFFF {
+			return 0, false
+		}
+	}
+	return dns.Type(v), true
+}
+
+// span locates one decoded string field inside the parser's scratch
+// buffer.
+type span struct{ off, end int }
+
+// logLineParser decodes one query-log line without encoding/json. It
+// is reusable: the scratch buffer that accumulates unescaped string
+// contents and the rest-offset slice are retained across lines, so a
+// long scan settles into the two-allocations-per-record regime.
+type logLineParser struct {
+	doc     jsonwire.Doc
+	scratch []byte
+	keyBuf  []byte
+	rest    []span
+}
+
+// logFieldNames lists the wire keys for fold matching (encoding/json
+// matches keys case-insensitively when no exact field matches).
+var logFieldNames = [][]byte{
+	[]byte("t"), []byte("name"), []byte("type"), []byte("test"),
+	[]byte("mta"), []byte("rest"), []byte("via"), []byte("v6"),
+	[]byte("remote"),
+}
+
+// matchLogKey resolves a decoded object key to a field index in
+// logFieldNames, or -1. The exact-match switch compiles to
+// length-bucketed comparisons (no allocation); bytes.EqualFold
+// reproduces encoding/json's fold matching (the two are defined to
+// agree).
+func matchLogKey(key []byte) int {
+	switch string(key) {
+	case "t":
+		return 0
+	case "name":
+		return 1
+	case "type":
+		return 2
+	case "test":
+		return 3
+	case "mta":
+		return 4
+	case "rest":
+		return 5
+	case "via":
+		return 6
+	case "v6":
+		return 7
+	case "remote":
+		return 8
+	}
+	for i, name := range logFieldNames {
+		if bytes.EqualFold(key, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// stringSpan parses a string value (or null) for a string field,
+// appending the unescaped contents to scratch and updating the span.
+// null leaves the previous value untouched, as encoding/json does;
+// set reports whether a string was actually stored.
+func (p *logLineParser) stringSpan(s *span) (set bool, err error) {
+	d := &p.doc
+	d.WS()
+	if isNull, err := d.TryNull(); isNull || err != nil {
+		return false, err
+	}
+	start := len(p.scratch)
+	p.scratch, err = d.ReadString(p.scratch)
+	if err != nil {
+		return false, err
+	}
+	*s = span{off: start, end: len(p.scratch)}
+	return true, nil
+}
+
+// hasLit reports whether in[i:] starts with lit (compiles to a
+// length check plus memeq, no allocation).
+func hasLit(in []byte, i int, lit string) bool {
+	return len(in)-i >= len(lit) && string(in[i:i+len(lit)]) == lit
+}
+
+// scanPlain advances from i to the closing quote of a plain string —
+// ASCII, no escapes, no control characters — returning the quote's
+// index, or ok=false if the string is anything fancier.
+func scanPlain(in []byte, i int) (end int, ok bool) {
+	for i < len(in) {
+		c := in[i]
+		if c == '"' {
+			return i, true
+		}
+		if c == '\\' || c < 0x20 || c >= 0x80 {
+			return 0, false
+		}
+		i++
+	}
+	return 0, false
+}
+
+// parseFast decodes the canonical encoding AppendLogJSON emits:
+// fields in wire order, no interior whitespace, plain ASCII strings.
+// That is every line the server itself wrote, so the generic parser
+// below — which this must agree with byte for byte on anything it
+// accepts — only runs for hand-edited or foreign logs. ok=false means
+// "not canonical", not "invalid".
+func (p *logLineParser) parseFast(line []byte) (LogEntry, bool) {
+	in := line
+	if n := len(in); n > 0 && in[n-1] == '\n' {
+		in = in[:n-1]
+	}
+	var (
+		e                            LogEntry
+		name, test, mta, via, remote span // input coordinates
+		ok                           bool
+		end                          int
+	)
+	p.rest = p.rest[:0]
+	restSet := false
+
+	i := len(`{"t":"`)
+	if !hasLit(in, 0, `{"t":"`) {
+		return e, false
+	}
+	if end, ok = scanPlain(in, i); !ok {
+		return e, false
+	}
+	if e.Time, ok = jsonwire.TryParseTime(in[i:end]); !ok {
+		return e, false
+	}
+	i = end + 1
+
+	if !hasLit(in, i, `,"name":"`) {
+		return e, false
+	}
+	i += len(`,"name":"`)
+	if end, ok = scanPlain(in, i); !ok {
+		return e, false
+	}
+	name = span{i, end}
+	i = end + 1
+
+	if !hasLit(in, i, `,"type":"`) {
+		return e, false
+	}
+	i += len(`,"type":"`)
+	if end, ok = scanPlain(in, i); !ok {
+		return e, false
+	}
+	if e.Type, ok = parseType(in[i:end]); !ok {
+		return e, false
+	}
+	i = end + 1
+
+	if hasLit(in, i, `,"test":"`) {
+		i += len(`,"test":"`)
+		if end, ok = scanPlain(in, i); !ok {
+			return e, false
+		}
+		test = span{i, end}
+		i = end + 1
+	}
+	if hasLit(in, i, `,"mta":"`) {
+		i += len(`,"mta":"`)
+		if end, ok = scanPlain(in, i); !ok {
+			return e, false
+		}
+		mta = span{i, end}
+		i = end + 1
+	}
+	if hasLit(in, i, `,"rest":[`) {
+		i += len(`,"rest":[`)
+		restSet = true
+		for {
+			if !hasLit(in, i, `"`) {
+				return e, false
+			}
+			i++
+			if end, ok = scanPlain(in, i); !ok {
+				return e, false
+			}
+			p.rest = append(p.rest, span{i, end})
+			i = end + 1
+			if hasLit(in, i, ",") {
+				i++
+				continue
+			}
+			if hasLit(in, i, "]") {
+				i++
+				break
+			}
+			return e, false
+		}
+	}
+	if hasLit(in, i, `,"via":"`) {
+		i += len(`,"via":"`)
+		if end, ok = scanPlain(in, i); !ok {
+			return e, false
+		}
+		via = span{i, end}
+		i = end + 1
+	}
+	if hasLit(in, i, `,"v6":true`) {
+		i += len(`,"v6":true`)
+		e.OverIPv6 = true
+	}
+	if hasLit(in, i, `,"remote":"`) {
+		i += len(`,"remote":"`)
+		if end, ok = scanPlain(in, i); !ok {
+			return e, false
+		}
+		remote = span{i, end}
+		i = end + 1
+	}
+	if i != len(in)-1 || in[i] != '}' {
+		return e, false
+	}
+
+	// Same materialization as the generic path: every string field
+	// shares one compact backing allocation (never the reused line
+	// buffer), plus the Rest slice when present.
+	p.scratch = p.scratch[:0]
+	copied := make([]span, 0, 8)
+	for _, s := range []span{name, test, mta, via, remote} {
+		off := len(p.scratch)
+		p.scratch = append(p.scratch, in[s.off:s.end]...)
+		copied = append(copied, span{off, len(p.scratch)})
+	}
+	restStart := len(copied)
+	for _, s := range p.rest {
+		off := len(p.scratch)
+		p.scratch = append(p.scratch, in[s.off:s.end]...)
+		copied = append(copied, span{off, len(p.scratch)})
+	}
+	backing := string(p.scratch)
+	get := func(s span) string {
+		if s.off == s.end {
+			return ""
+		}
+		return backing[s.off:s.end]
+	}
+	e.Name = get(copied[0])
+	e.TestID = get(copied[1])
+	e.MTAID = get(copied[2])
+	e.Transport = get(copied[3])
+	e.Remote = get(copied[4])
+	if restSet {
+		out := make([]string, len(p.rest))
+		for j := range p.rest {
+			out[j] = get(copied[restStart+j])
+		}
+		e.Rest = out
+	}
+	return e, true
+}
+
+// parse decodes one log line. The returned entry's string fields all
+// share one backing allocation; rest costs a second when present.
+func (p *logLineParser) parse(line []byte) (LogEntry, error) {
+	if e, ok := p.parseFast(line); ok {
+		return e, nil
+	}
+	p.scratch = p.scratch[:0]
+	p.rest = p.rest[:0]
+
+	var (
+		e           LogEntry
+		name, test  span
+		mta, via    span
+		remote, typ span
+		typeSet     bool
+		restSet     bool
+	)
+
+	d := &p.doc
+	d.Init(line)
+	d.WS()
+	if isNull, err := d.TryNull(); err != nil {
+		return LogEntry{}, err
+	} else if isNull {
+		// json.Unmarshal accepts a null document as a zero record; it
+		// then fails type resolution below, like the old decoder.
+		if err := d.End(); err != nil {
+			return LogEntry{}, err
+		}
+		return LogEntry{}, fmt.Errorf("unknown type %q", "")
+	}
+	if err := d.ObjectStart(); err != nil {
+		return LogEntry{}, err
+	}
+	for first := true; ; first = false {
+		rawKey, more, err := d.NextKey(first)
+		if err != nil {
+			return LogEntry{}, err
+		}
+		if !more {
+			break
+		}
+		key := rawKey
+		if bytes.IndexByte(rawKey, '\\') >= 0 {
+			p.keyBuf = jsonwire.Unescape(p.keyBuf[:0], rawKey)
+			key = p.keyBuf
+		}
+		switch matchLogKey(key) {
+		case 0: // t
+			d.WS()
+			if isNull, err := d.TryNull(); err != nil {
+				return LogEntry{}, err
+			} else if !isNull {
+				raw, err := d.RawString()
+				if err != nil {
+					return LogEntry{}, err
+				}
+				// time.Time.UnmarshalJSON parses the raw quoted
+				// content without unescaping; so do we.
+				e.Time, err = jsonwire.ParseTime(raw)
+				if err != nil {
+					return LogEntry{}, err
+				}
+			}
+		case 1: // name
+			if _, err := p.stringSpan(&name); err != nil {
+				return LogEntry{}, err
+			}
+		case 2: // type
+			set, err := p.stringSpan(&typ)
+			if err != nil {
+				return LogEntry{}, err
+			}
+			typeSet = typeSet || set
+		case 3: // test
+			if _, err := p.stringSpan(&test); err != nil {
+				return LogEntry{}, err
+			}
+		case 4: // mta
+			if _, err := p.stringSpan(&mta); err != nil {
+				return LogEntry{}, err
+			}
+		case 5: // rest
+			d.WS()
+			if isNull, err := d.TryNull(); err != nil {
+				return LogEntry{}, err
+			} else if isNull {
+				// null resets a slice field to nil.
+				restSet = false
+				p.rest = p.rest[:0]
+				break
+			}
+			if err := d.ArrayStart(); err != nil {
+				return LogEntry{}, err
+			}
+			restSet = true
+			p.rest = p.rest[:0]
+			for efirst := true; ; efirst = false {
+				more, err := d.NextElem(efirst)
+				if err != nil {
+					return LogEntry{}, err
+				}
+				if !more {
+					break
+				}
+				var el span
+				if _, err := p.stringSpan(&el); err != nil {
+					return LogEntry{}, err
+				}
+				p.rest = append(p.rest, el)
+			}
+		case 6: // via
+			if _, err := p.stringSpan(&via); err != nil {
+				return LogEntry{}, err
+			}
+		case 7: // v6
+			d.WS()
+			if isNull, err := d.TryNull(); err != nil {
+				return LogEntry{}, err
+			} else if !isNull {
+				v, err := d.Bool()
+				if err != nil {
+					return LogEntry{}, err
+				}
+				e.OverIPv6 = v
+			}
+		case 8: // remote
+			if _, err := p.stringSpan(&remote); err != nil {
+				return LogEntry{}, err
+			}
+		default:
+			if err := d.SkipValue(); err != nil {
+				return LogEntry{}, err
+			}
+		}
+	}
+	if err := d.End(); err != nil {
+		return LogEntry{}, err
+	}
+
+	// One backing string for every decoded string field.
+	backing := string(p.scratch)
+	get := func(s span) string {
+		if s.off == s.end {
+			return ""
+		}
+		return backing[s.off:s.end]
+	}
+	if !typeSet {
+		return LogEntry{}, fmt.Errorf("unknown type %q", "")
+	}
+	t, ok := parseType(p.scratch[typ.off:typ.end])
+	if !ok {
+		return LogEntry{}, fmt.Errorf("unknown type %q", get(typ))
+	}
+	e.Type = t
+	e.Name = get(name)
+	e.TestID = get(test)
+	e.MTAID = get(mta)
+	e.Transport = get(via)
+	e.Remote = get(remote)
+	if restSet {
+		out := make([]string, len(p.rest))
+		for i, s := range p.rest {
+			out[i] = get(s)
+		}
+		e.Rest = out
+	}
+	return e, nil
+}

@@ -2,85 +2,100 @@ package dnsserver
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
-	"time"
-
-	"sendervalid/internal/dns"
 )
 
-// logRecord is the JSON-lines wire form of a LogEntry. The study's
+// This file is the serial half of the log's disk I/O. The study's
 // workflow separates collection from analysis: the authoritative
-// server writes its query log to disk, and the analyses run offline
-// over the file (possibly repeatedly, as new questions arise).
-type logRecord struct {
-	Time      time.Time `json:"t"`
-	Name      string    `json:"name"`
-	Type      string    `json:"type"`
-	TestID    string    `json:"test,omitempty"`
-	MTAID     string    `json:"mta,omitempty"`
-	Rest      []string  `json:"rest,omitempty"`
-	Transport string    `json:"via,omitempty"`
-	OverIPv6  bool      `json:"v6,omitempty"`
-	Remote    string    `json:"remote,omitempty"`
-}
+// server writes its query log to disk as JSON lines, and the analyses
+// run offline over the file (possibly repeatedly, as new questions
+// arise). The wire format and the per-record codec live in
+// logcodec.go; the parallel ingest pipeline lives in parlog.go.
 
-// typeByName inverts the Type mnemonics used in the log files.
-var typeByName = map[string]dns.Type{
-	"A": dns.TypeA, "NS": dns.TypeNS, "CNAME": dns.TypeCNAME,
-	"SOA": dns.TypeSOA, "PTR": dns.TypePTR, "MX": dns.TypeMX,
-	"TXT": dns.TypeTXT, "AAAA": dns.TypeAAAA, "OPT": dns.TypeOPT,
-	"SPF": dns.TypeSPF, "ANY": dns.TypeANY,
-}
-
-// WriteJSON streams the log's entries as JSON lines.
+// WriteJSON streams the log's entries as JSON lines through the
+// reflection-free encoder. It iterates under the log's lock instead
+// of snapshotting, so streaming a large in-memory log does not double
+// resident memory; concurrent Appends block until the write
+// completes, which is the right trade for the collect-then-persist
+// workflow (persist after the run, or behind an AsyncLog).
 func (l *QueryLog) WriteJSON(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for _, e := range l.Entries() {
-		rec := logRecord{
-			Time: e.Time, Name: e.Name, Type: e.Type.String(),
-			TestID: e.TestID, MTAID: e.MTAID, Rest: e.Rest,
-			Transport: e.Transport, OverIPv6: e.OverIPv6, Remote: e.Remote,
+	// Encode straight into one accumulation buffer flushed in large
+	// writes — records never pass through an intermediate bufio copy.
+	buf := make([]byte, 0, 64*1024)
+	var werr error
+	l.forEach(func(e *LogEntry) bool {
+		buf = AppendLogJSON(buf, *e)
+		if len(buf) >= 32*1024 {
+			if _, err := w.Write(buf); err != nil {
+				werr = err
+				return false
+			}
+			buf = buf[:0]
 		}
-		if err := enc.Encode(&rec); err != nil {
-			return fmt.Errorf("dnsserver: writing log: %w", err)
-		}
+		return true
+	})
+	if werr == nil && len(buf) > 0 {
+		_, werr = w.Write(buf)
 	}
-	return bw.Flush()
+	if werr != nil {
+		return fmt.Errorf("dnsserver: writing log: %w", werr)
+	}
+	return nil
 }
 
 // ForEachLogJSON streams a JSON-lines query log, calling fn once per
-// entry in file order. It decodes one record at a time, so a
-// multi-gigabyte collection log can be analyzed without holding the
-// whole run in memory. A non-nil error from fn stops the scan and is
-// returned unwrapped.
+// record in file order. It decodes one line at a time with the
+// reflection-free codec, so a multi-gigabyte collection log can be
+// analyzed without holding the whole run in memory. Blank lines are
+// skipped. A non-nil error from fn stops the scan and is returned
+// unwrapped. For multi-core ingest over large logs see
+// ParForEachLogJSON.
 func ForEachLogJSON(r io.Reader, fn func(LogEntry) error) error {
-	dec := json.NewDecoder(bufio.NewReader(r))
-	for n := 0; dec.More(); n++ {
-		var rec logRecord
-		if err := dec.Decode(&rec); err != nil {
-			return fmt.Errorf("dnsserver: reading log entry %d: %w", n, err)
-		}
-		t, ok := typeByName[rec.Type]
-		if !ok {
-			var v uint16
-			if _, err := fmt.Sscanf(rec.Type, "TYPE%d", &v); err != nil {
-				return fmt.Errorf("dnsserver: log entry %d: unknown type %q", n, rec.Type)
+	var p logLineParser
+	br := bufio.NewReaderSize(r, 64*1024)
+	var spill []byte
+	n := 0
+	for {
+		line, rerr := br.ReadSlice('\n')
+		if rerr == bufio.ErrBufferFull {
+			// A line longer than the read buffer: accumulate it.
+			spill = append(spill[:0], line...)
+			for rerr == bufio.ErrBufferFull {
+				line, rerr = br.ReadSlice('\n')
+				spill = append(spill, line...)
 			}
-			t = dns.Type(v)
+			line = spill
 		}
-		e := LogEntry{
-			Time: rec.Time, Name: rec.Name, Type: t,
-			TestID: rec.TestID, MTAID: rec.MTAID, Rest: rec.Rest,
-			Transport: rec.Transport, OverIPv6: rec.OverIPv6, Remote: rec.Remote,
+		if rerr != nil && rerr != io.EOF {
+			return fmt.Errorf("dnsserver: reading log: %w", rerr)
 		}
-		if err := fn(e); err != nil {
-			return err
+		if !blankLine(line) {
+			e, err := p.parse(line)
+			if err != nil {
+				return fmt.Errorf("dnsserver: reading log entry %d: %w", n, err)
+			}
+			if err := fn(e); err != nil {
+				return err
+			}
+			n++
+		}
+		if rerr == io.EOF {
+			return nil
 		}
 	}
-	return nil
+}
+
+// blankLine reports whether the line holds only JSON whitespace.
+func blankLine(b []byte) bool {
+	for _, c := range b {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // ReadLogJSON parses a JSON-lines query log into memory.

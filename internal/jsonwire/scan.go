@@ -1,0 +1,543 @@
+package jsonwire
+
+import (
+	"bytes"
+	"errors"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// Doc scans one JSON document held in a byte slice (one JSONL line).
+// It validates with the same acceptance rules as encoding/json's
+// scanner — same escape grammar, same number grammar, same literal
+// termination, same 10000-level nesting limit — so a line is decodable
+// here exactly when json.Unmarshal would decode it. Errors carry no
+// position detail; callers wrap them with the record index.
+//
+// A Doc is reusable via Init and keeps no per-document allocations.
+type Doc struct {
+	in    []byte
+	pos   int
+	depth int
+}
+
+// maxNestingDepth matches encoding/json's nesting limit.
+const maxNestingDepth = 10000
+
+var (
+	errSyntax        = errors.New("invalid JSON syntax")
+	errUnexpectedEnd = errors.New("unexpected end of JSON input")
+	errDepth         = errors.New("exceeded max depth")
+	errTrailing      = errors.New("trailing data after JSON value")
+)
+
+// Init points the Doc at a new document.
+func (d *Doc) Init(b []byte) { d.in, d.pos, d.depth = b, 0, 0 }
+
+// WS skips JSON whitespace. Compact JSONL records almost never have
+// any, so the common case is a single inlined byte test.
+func (d *Doc) WS() {
+	if d.pos < len(d.in) {
+		if c := d.in[d.pos]; c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			d.wsSlow()
+		}
+	}
+}
+
+func (d *Doc) wsSlow() {
+	for d.pos < len(d.in) {
+		switch d.in[d.pos] {
+		case ' ', '\t', '\r', '\n':
+			d.pos++
+		default:
+			return
+		}
+	}
+}
+
+// Peek returns the byte at the cursor without consuming it.
+func (d *Doc) Peek() (byte, bool) {
+	if d.pos >= len(d.in) {
+		return 0, false
+	}
+	return d.in[d.pos], true
+}
+
+// End verifies only whitespace remains — the Unmarshal trailing-data
+// check.
+func (d *Doc) End() error {
+	d.WS()
+	if d.pos != len(d.in) {
+		return errTrailing
+	}
+	return nil
+}
+
+// atTerminator reports whether the cursor sits at a valid
+// end-of-value boundary (whitespace, ',', '}', ']', or EOF) — the
+// scanner's stateEndValue rule that makes "nullx" or "12x" invalid.
+func (d *Doc) atTerminator() bool {
+	if d.pos >= len(d.in) {
+		return true
+	}
+	switch d.in[d.pos] {
+	case ' ', '\t', '\r', '\n', ',', '}', ']':
+		return true
+	}
+	return false
+}
+
+// literal consumes the exact literal s (cursor on its first byte)
+// plus the terminator check.
+func (d *Doc) literal(s string) error {
+	if len(d.in)-d.pos < len(s) || string(d.in[d.pos:d.pos+len(s)]) != s {
+		return errSyntax
+	}
+	d.pos += len(s)
+	if !d.atTerminator() {
+		return errSyntax
+	}
+	return nil
+}
+
+// TryNull consumes a null literal at the cursor if present. Callers
+// should WS() first.
+func (d *Doc) TryNull() (bool, error) {
+	if c, ok := d.Peek(); !ok || c != 'n' {
+		return false, nil
+	}
+	if err := d.literal("null"); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Bool parses a true/false literal at the cursor.
+func (d *Doc) Bool() (bool, error) {
+	c, ok := d.Peek()
+	if !ok {
+		return false, errUnexpectedEnd
+	}
+	switch c {
+	case 't':
+		return true, d.literal("true")
+	case 'f':
+		return false, d.literal("false")
+	}
+	return false, errSyntax
+}
+
+// RawString parses the JSON string at the cursor and returns the raw
+// bytes between the quotes — escapes validated but not decoded (what
+// time.Time.UnmarshalJSON receives). Use Unescape to decode.
+func (d *Doc) RawString() ([]byte, error) {
+	raw, _, err := d.rawString()
+	return raw, err
+}
+
+// rawString is RawString plus a plain report: plain means the string
+// held no escapes and only ASCII, so its decoded contents are the raw
+// bytes themselves.
+func (d *Doc) rawString() (raw []byte, plain bool, err error) {
+	if c, ok := d.Peek(); !ok || c != '"' {
+		if !ok {
+			return nil, false, errUnexpectedEnd
+		}
+		return nil, false, errSyntax
+	}
+	in := d.in
+	i := d.pos + 1
+	plain = true
+	for {
+		// Race through plain bytes — everything but the closing quote,
+		// an escape, raw control characters (invalid in JSON), and
+		// non-ASCII (which demotes plain but is otherwise fine; the
+		// scanner does not validate UTF-8, Unescape coerces).
+		for i < len(in) {
+			c := in[i]
+			if c == '"' || c == '\\' || c < 0x20 || c >= 0x80 {
+				break
+			}
+			i++
+		}
+		if i >= len(in) {
+			return nil, false, errUnexpectedEnd
+		}
+		switch c := in[i]; {
+		case c == '"':
+			raw = in[d.pos+1 : i]
+			d.pos = i + 1
+			return raw, plain, nil
+		case c >= 0x80:
+			plain = false
+			i++
+		case c == '\\':
+			plain = false
+			i++
+			if i >= len(in) {
+				return nil, false, errUnexpectedEnd
+			}
+			switch in[i] {
+			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+				i++
+			case 'u':
+				if i+4 >= len(in) || !isHex4(in[i+1:i+5]) {
+					return nil, false, errSyntax
+				}
+				i += 5
+			default:
+				return nil, false, errSyntax
+			}
+		default: // a raw control character
+			return nil, false, errSyntax
+		}
+	}
+}
+
+func isHex4(b []byte) bool {
+	for _, c := range b[:4] {
+		switch {
+		case '0' <= c && c <= '9', 'a' <= c && c <= 'f', 'A' <= c && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ReadString parses the string at the cursor and appends its decoded
+// contents to dst. Strings without escapes decode as a straight copy
+// (well-formed UTF-8 passes through Unescape unchanged), which is
+// nearly every string in a query log.
+func (d *Doc) ReadString(dst []byte) ([]byte, error) {
+	raw, plain, err := d.rawString()
+	if err != nil {
+		return dst, err
+	}
+	if plain || (bytes.IndexByte(raw, '\\') < 0 && utf8.Valid(raw)) {
+		return append(dst, raw...), nil
+	}
+	return Unescape(dst, raw), nil
+}
+
+// Unescape appends the decoded contents of a validated raw JSON
+// string (RawString output) to dst, replicating encoding/json's
+// unquote: \uXXXX with UTF-16 surrogate pairing (unpaired surrogates
+// become U+FFFD) and invalid UTF-8 coerced to U+FFFD.
+func Unescape(dst, raw []byte) []byte {
+	for r := 0; r < len(raw); {
+		switch c := raw[r]; {
+		case c == '\\':
+			r++
+			switch raw[r] {
+			case '"', '\\', '/':
+				dst = append(dst, raw[r])
+				r++
+			case 'b':
+				dst = append(dst, '\b')
+				r++
+			case 'f':
+				dst = append(dst, '\f')
+				r++
+			case 'n':
+				dst = append(dst, '\n')
+				r++
+			case 'r':
+				dst = append(dst, '\r')
+				r++
+			case 't':
+				dst = append(dst, '\t')
+				r++
+			case 'u':
+				r--
+				rr := getu4(raw[r:])
+				r += 6
+				if utf16.IsSurrogate(rr) {
+					rr1 := getu4(raw[r:])
+					if dec := utf16.DecodeRune(rr, rr1); dec != utf8.RuneError {
+						// A valid surrogate pair; consume both.
+						r += 6
+						dst = utf8.AppendRune(dst, dec)
+						break
+					}
+					// Invalid surrogate: replacement char, second
+					// escape (if any) processed independently.
+					rr = utf8.RuneError
+				}
+				dst = utf8.AppendRune(dst, rr)
+			}
+		case c < utf8.RuneSelf:
+			dst = append(dst, c)
+			r++
+		default:
+			// Coerce to well-formed UTF-8.
+			rr, size := utf8.DecodeRune(raw[r:])
+			r += size
+			dst = utf8.AppendRune(dst, rr)
+		}
+	}
+	return dst
+}
+
+// getu4 decodes \uXXXX at the start of b, returning -1 on malformed
+// input (identical to encoding/json's getu4).
+func getu4(b []byte) rune {
+	if len(b) < 6 || b[0] != '\\' || b[1] != 'u' {
+		return -1
+	}
+	var r rune
+	for _, c := range b[2:6] {
+		switch {
+		case '0' <= c && c <= '9':
+			c -= '0'
+		case 'a' <= c && c <= 'f':
+			c = c - 'a' + 10
+		case 'A' <= c && c <= 'F':
+			c = c - 'A' + 10
+		default:
+			return -1
+		}
+		r = r*16 + rune(c)
+	}
+	return r
+}
+
+// Int parses a JSON number at the cursor that must be an integer
+// fitting int64 — the same acceptance as unmarshalling into an int64
+// field (number syntax validated first, then integer-ness).
+func (d *Doc) Int() (int64, error) {
+	start := d.pos
+	if err := d.skipNumber(); err != nil {
+		return 0, err
+	}
+	tok := d.in[start:d.pos]
+	neg := false
+	i := 0
+	if tok[0] == '-' {
+		neg = true
+		i = 1
+	}
+	var v uint64
+	for ; i < len(tok); i++ {
+		c := tok[i]
+		if c < '0' || c > '9' {
+			// Fraction or exponent: valid JSON, not an integer.
+			return 0, errSyntax
+		}
+		if v > (1<<63)/10 {
+			// The next digit would overflow uint64's headroom; the check
+			// below could never see the wrapped value.
+			return 0, errSyntax
+		}
+		v = v*10 + uint64(c-'0')
+		if v > 1<<63 {
+			return 0, errSyntax
+		}
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	if v == 1<<63 {
+		return 0, errSyntax
+	}
+	return int64(v), nil
+}
+
+// skipNumber validates a JSON number at the cursor (cursor on '-' or
+// a digit).
+func (d *Doc) skipNumber() error {
+	in, i := d.in, d.pos
+	if i < len(in) && in[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(in) && in[i] == '0':
+		i++
+	case i < len(in) && '1' <= in[i] && in[i] <= '9':
+		for i < len(in) && '0' <= in[i] && in[i] <= '9' {
+			i++
+		}
+	default:
+		return errSyntax
+	}
+	if i < len(in) && in[i] == '.' {
+		i++
+		if i >= len(in) || in[i] < '0' || in[i] > '9' {
+			return errSyntax
+		}
+		for i < len(in) && '0' <= in[i] && in[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(in) && (in[i] == 'e' || in[i] == 'E') {
+		i++
+		if i < len(in) && (in[i] == '+' || in[i] == '-') {
+			i++
+		}
+		if i >= len(in) || in[i] < '0' || in[i] > '9' {
+			return errSyntax
+		}
+		for i < len(in) && '0' <= in[i] && in[i] <= '9' {
+			i++
+		}
+	}
+	d.pos = i
+	if !d.atTerminator() {
+		return errSyntax
+	}
+	return nil
+}
+
+// ObjectStart consumes '{' at the cursor (after WS).
+func (d *Doc) ObjectStart() error {
+	d.WS()
+	c, ok := d.Peek()
+	if !ok {
+		return errUnexpectedEnd
+	}
+	if c != '{' {
+		return errSyntax
+	}
+	d.depth++
+	if d.depth > maxNestingDepth {
+		return errDepth
+	}
+	d.pos++
+	return nil
+}
+
+// NextKey advances to the next key of the current object, returning
+// its raw (possibly escaped) bytes, or ok=false at the object's end.
+// first must be true before the first key has been read.
+func (d *Doc) NextKey(first bool) (key []byte, ok bool, err error) {
+	d.WS()
+	c, have := d.Peek()
+	if !have {
+		return nil, false, errUnexpectedEnd
+	}
+	if c == '}' {
+		d.pos++
+		d.depth--
+		return nil, false, nil
+	}
+	if !first {
+		if c != ',' {
+			return nil, false, errSyntax
+		}
+		d.pos++
+		d.WS()
+	}
+	key, err = d.RawString()
+	if err != nil {
+		return nil, false, err
+	}
+	d.WS()
+	if c, have := d.Peek(); !have || c != ':' {
+		if !have {
+			return nil, false, errUnexpectedEnd
+		}
+		return nil, false, errSyntax
+	}
+	d.pos++
+	return key, true, nil
+}
+
+// ArrayStart consumes '[' at the cursor (after WS).
+func (d *Doc) ArrayStart() error {
+	d.WS()
+	c, ok := d.Peek()
+	if !ok {
+		return errUnexpectedEnd
+	}
+	if c != '[' {
+		return errSyntax
+	}
+	d.depth++
+	if d.depth > maxNestingDepth {
+		return errDepth
+	}
+	d.pos++
+	return nil
+}
+
+// NextElem advances to the next array element, leaving the cursor on
+// its first byte; ok=false at the array's end.
+func (d *Doc) NextElem(first bool) (ok bool, err error) {
+	d.WS()
+	c, have := d.Peek()
+	if !have {
+		return false, errUnexpectedEnd
+	}
+	if c == ']' {
+		d.pos++
+		d.depth--
+		return false, nil
+	}
+	if !first {
+		if c != ',' {
+			return false, errSyntax
+		}
+		d.pos++
+		d.WS()
+		if _, have := d.Peek(); !have {
+			return false, errUnexpectedEnd
+		}
+	}
+	return true, nil
+}
+
+// SkipValue validates and skips any JSON value at the cursor — how
+// unknown object keys are consumed.
+func (d *Doc) SkipValue() error {
+	d.WS()
+	c, ok := d.Peek()
+	if !ok {
+		return errUnexpectedEnd
+	}
+	switch {
+	case c == '{':
+		if err := d.ObjectStart(); err != nil {
+			return err
+		}
+		for first := true; ; first = false {
+			_, more, err := d.NextKey(first)
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+			if err := d.SkipValue(); err != nil {
+				return err
+			}
+		}
+	case c == '[':
+		if err := d.ArrayStart(); err != nil {
+			return err
+		}
+		for first := true; ; first = false {
+			more, err := d.NextElem(first)
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+			if err := d.SkipValue(); err != nil {
+				return err
+			}
+		}
+	case c == '"':
+		_, err := d.RawString()
+		return err
+	case c == 't':
+		return d.literal("true")
+	case c == 'f':
+		return d.literal("false")
+	case c == 'n':
+		return d.literal("null")
+	case c == '-' || ('0' <= c && c <= '9'):
+		return d.skipNumber()
+	}
+	return errSyntax
+}
