@@ -11,7 +11,7 @@ GO ?= go
 CHAOS_SEED ?= 42
 
 # Where `make bench` archives its parsed results.
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 
 # The baseline `make bench-diff` gates against.
 BENCH_BASELINE ?= BENCH_6.json
@@ -20,9 +20,9 @@ BENCH_BASELINE ?= BENCH_6.json
 # and the log codec / analysis ingest throughput.
 HOT_BENCHES = BenchmarkServeHotPath|BenchmarkDNSMessagePackUnpack|BenchmarkSPFParse|BenchmarkQueryLogJSONRoundTrip|BenchmarkLogCodec|BenchmarkParForEachLogJSON
 
-.PHONY: check vet build test fuzz-seeds chaos bench bench-smoke bench-diff
+.PHONY: check vet build test fuzz-seeds chaos bench bench-smoke bench-diff telemetry-alloc
 
-check: vet build test fuzz-seeds bench-smoke
+check: vet build test fuzz-seeds telemetry-alloc bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,14 @@ chaos:
 	$(GO) test -race -count=1 \
 		-run 'Panic|RateLimit|TCPServer|Retry|AsyncLog|Evict|Shed|LineTooLong|PolicyRejections' \
 		./internal/dns/ ./internal/dnsserver/ ./internal/smtp/ ./internal/resolver/
+
+# The instrument allocation pins: metric increments are on the DNS
+# serving hot path, so Counter.Inc / Histogram.Observe / vec lookups
+# must stay at zero allocations (alongside the codec pins that share
+# the naming convention).
+telemetry-alloc:
+	$(GO) test -run 'Alloc' -count=1 \
+		./internal/telemetry/ ./internal/dns/ ./internal/dnsserver/
 
 # One iteration of every benchmark: catches bit-rot in benchmark code
 # without the cost of a measurement run.

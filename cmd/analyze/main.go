@@ -14,13 +14,34 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"sendervalid/internal/dnsserver"
 	"sendervalid/internal/experiment"
 	"sendervalid/internal/policy"
+	"sendervalid/internal/telemetry"
 )
+
+// meteredReader counts the bytes flowing out of the log file and sizes
+// each read into a histogram, so ingest throughput can be reported
+// from the same instruments the serving layers use.
+type meteredReader struct {
+	r     io.Reader
+	bytes telemetry.Counter
+	reads *telemetry.Histogram
+}
+
+func (m *meteredReader) Read(p []byte) (int, error) {
+	n, err := m.r.Read(p)
+	if n > 0 {
+		m.bytes.Add(uint64(n))
+		m.reads.Observe(float64(n))
+	}
+	return n, err
+}
 
 func main() {
 	var (
@@ -48,11 +69,15 @@ func main() {
 	// order, so the output is identical to a serial scan at any worker
 	// count.
 	var entries []dnsserver.LogEntry
+	var ingested telemetry.Counter
 	total := 0
 	mtas := map[string]bool{}
 	tests := map[string]bool{}
-	err = dnsserver.ParForEachLogJSONOrdered(f, *workers, func(e dnsserver.LogEntry) error {
+	mr := &meteredReader{r: f, reads: telemetry.NewHistogram(telemetry.SizeBuckets)}
+	ingestStart := time.Now()
+	err = dnsserver.ParForEachLogJSONOrdered(mr, *workers, func(e dnsserver.LogEntry) error {
 		total++
+		ingested.Inc()
 		if e.TestID != "" {
 			tests[e.TestID] = true
 		}
@@ -66,6 +91,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
 		os.Exit(1)
 	}
+	elapsed := time.Since(ingestStart)
+	reads := mr.reads.Snapshot()
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	fmt.Fprintf(os.Stderr,
+		"analyze: ingested %d entries (%.1f MB) in %v — %.0f entries/s, %.1f MB/s, mean read %.0f B across %d reads\n",
+		ingested.Value(), float64(mr.bytes.Value())/1e6, elapsed.Round(time.Millisecond),
+		float64(ingested.Value())/secs, float64(mr.bytes.Value())/1e6/secs,
+		reads.Mean(), reads.Count)
 	fmt.Printf("log: %d queries (%d attributed) from %d MTAs across %d test policies\n\n",
 		total, len(entries), len(mtas), len(tests))
 

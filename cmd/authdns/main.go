@@ -1,44 +1,66 @@
 // Command authdns runs the study's synthesizing authoritative DNS
 // server standalone: the full 39-policy catalog under the test zone
 // and the NotifyEmail zone, with per-policy response shaping. Every
-// query is logged to stdout with its (testid, mtaid) attribution.
+// query is logged to stdout with its (testid, mtaid) attribution, and
+// -metrics-addr exposes the admin plane (/metrics, /healthz, /statusz,
+// /debug/pprof) on its own listener.
 //
 // Usage:
 //
 //	authdns [-addr 127.0.0.1:5300] [-addr6 "[::1]:5300"]
 //	        [-suffix spf-test.dns-lab.example] [-notify dsav-mail.dns-lab.example]
 //	        [-contact research@dns-lab.example] [-timescale 1.0]
+//	        [-metrics-addr 127.0.0.1:9153]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
+	"sendervalid/internal/dns"
 	"sendervalid/internal/dnsserver"
 	"sendervalid/internal/policy"
+	"sendervalid/internal/telemetry"
 )
 
 func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, stop, nil))
+}
+
+// run is main minus the process plumbing, so a test can drive a full
+// serve-and-shutdown cycle in-process under -race: it injects a
+// simulated signal through stop and learns the admin plane's bound
+// address through ready.
+func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, ready chan<- string) int {
+	fs := flag.NewFlagSet("authdns", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr      = flag.String("addr", "127.0.0.1:5300", "IPv4 listen address")
-		addr6     = flag.String("addr6", "", "IPv6 listen address (e.g. \"[::1]:5300\"); empty disables")
-		suffix    = flag.String("suffix", "spf-test.dns-lab.example", "test-policy zone suffix")
-		notify    = flag.String("notify", "dsav-mail.dns-lab.example", "NotifyEmail zone suffix")
-		contact   = flag.String("contact", "research-contact@dns-lab.example", "attribution contact mailbox")
-		timeScale = flag.Float64("timescale", 1.0, "multiplier for the paper's 100ms/800ms response shaping")
-		sender4   = flag.String("sender4", "203.0.113.10", "sending MTA IPv4 (authorized by NotifyEmail SPF)")
-		sender6   = flag.String("sender6", "2001:db8:1::10", "sending MTA IPv6")
-		quiet     = flag.Bool("quiet", false, "suppress per-query log lines")
-		maxQPS    = flag.Float64("max-qps", 0, "per-source query rate limit (REFUSED above it); 0 disables")
-		burst     = flag.Int("burst", 0, "per-source rate-limit burst (0 = default 8)")
-		logBuffer = flag.Int("log-buffer", 4096, "query-log buffer depth; full buffers drop (and count) entries instead of blocking the serving path")
+		addr        = fs.String("addr", "127.0.0.1:5300", "IPv4 listen address")
+		addr6       = fs.String("addr6", "", "IPv6 listen address (e.g. \"[::1]:5300\"); empty disables")
+		suffix      = fs.String("suffix", "spf-test.dns-lab.example", "test-policy zone suffix")
+		notify      = fs.String("notify", "dsav-mail.dns-lab.example", "NotifyEmail zone suffix")
+		contact     = fs.String("contact", "research-contact@dns-lab.example", "attribution contact mailbox")
+		timeScale   = fs.Float64("timescale", 1.0, "multiplier for the paper's 100ms/800ms response shaping")
+		sender4     = fs.String("sender4", "203.0.113.10", "sending MTA IPv4 (authorized by NotifyEmail SPF)")
+		sender6     = fs.String("sender6", "2001:db8:1::10", "sending MTA IPv6")
+		quiet       = fs.Bool("quiet", false, "suppress per-query log lines")
+		maxQPS      = fs.Float64("max-qps", 0, "per-source query rate limit (REFUSED above it); 0 disables")
+		burst       = fs.Int("burst", 0, "per-source rate-limit burst (0 = default 8)")
+		logBuffer   = fs.Int("log-buffer", 4096, "query-log buffer depth; full buffers drop (and count) entries instead of blocking the serving path")
+		metricsAddr = fs.String("metrics-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof; empty disables")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	env := &policy.Env{Suffix: *suffix + ".", TimeScale: *timeScale}
 	notifyCfg := &policy.NotifyEmailConfig{
@@ -56,7 +78,7 @@ func main() {
 		MaxQPSPerSource: *maxQPS,
 		BurstPerSource:  *burst,
 		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "authdns: "+format+"\n", args...)
+			fmt.Fprintf(stderr, "authdns: "+format+"\n", args...)
 		},
 		Zones: []*dnsserver.Zone{
 			{
@@ -75,17 +97,50 @@ func main() {
 	}
 	bound, err := srv.Start()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "authdns: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "authdns: %v\n", err)
+		return 1
 	}
-	fmt.Printf("authdns: serving %s and %s on %s", *suffix, *notify, bound)
+	fmt.Fprintf(stdout, "authdns: serving %s and %s on %s", *suffix, *notify, bound)
 	if a6 := srv.Addr6Bound(); a6 != nil {
-		fmt.Printf(" and %s", a6)
+		fmt.Fprintf(stdout, " and %s", a6)
 	}
-	fmt.Printf(" (%d test policies, timescale %.3f)\n", len(policy.Catalog()), *timeScale)
+	fmt.Fprintf(stdout, " (%d test policies, timescale %.3f)\n", len(policy.Catalog()), *timeScale)
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	// The registry always exists — it is also the shutdown report —
+	// and the admin HTTP plane is the opt-in part.
+	reg := telemetry.NewRegistry()
+	srv.RegisterMetrics(reg)
+	asyncLog.RegisterMetrics(reg)
+	dns.RegisterPoolMetrics(reg)
+	telemetry.RegisterRuntimeMetrics(reg)
+
+	health := telemetry.NewHealth()
+	health.Register("querylog", func() error {
+		if d := asyncLog.Dropped(); d > 0 {
+			return fmt.Errorf("%d query-log entries dropped", d)
+		}
+		return nil
+	})
+
+	var admin *telemetry.AdminServer
+	if *metricsAddr != "" {
+		admin = &telemetry.AdminServer{Addr: *metricsAddr, Registry: reg, Health: health}
+		adminAddr, err := admin.Start()
+		if err != nil {
+			fmt.Fprintf(stderr, "authdns: %v\n", err)
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutdownCtx)
+			asyncLog.Close()
+			return 1
+		}
+		fmt.Fprintf(stdout, "authdns: admin plane on http://%s/metrics\n", adminAddr)
+		if ready != nil {
+			ready <- adminAddr.String()
+		}
+	} else if ready != nil {
+		ready <- ""
+	}
 
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
@@ -100,18 +155,29 @@ func main() {
 			// every tick.
 			tail := log.Since(printed)
 			for _, e := range tail {
-				fmt.Printf("%s %-4s %-5s test=%-4s mta=%-8s %s\n",
+				fmt.Fprintf(stdout, "%s %-4s %-5s test=%-4s mta=%-8s %s\n",
 					e.Time.Format("15:04:05.000"), e.Transport, e.Type, e.TestID, e.MTAID, e.Name)
 			}
 			printed += len(tail)
 		case <-stop:
-			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			// Order matters: stop accepting queries first, then close
+			// the log. The old ordering closed the log while a timed-out
+			// Shutdown could still have in-flight handlers appending.
+			// AsyncLog now tolerates that race (late appends are dropped
+			// and counted), but draining the server first keeps the log
+			// complete on a clean shutdown.
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 			defer cancel()
-			_ = srv.Shutdown(ctx)
+			if err := srv.Shutdown(shutdownCtx); err != nil {
+				fmt.Fprintf(stderr, "authdns: shutdown: %v\n", err)
+			}
 			asyncLog.Close()
-			fmt.Printf("authdns: %d queries logged (%d dropped from log buffer), %d refused by rate limit, %d responder panics recovered; shutting down\n",
-				log.Len(), asyncLog.Dropped(), srv.Refused(), srv.Panics())
-			return
+			if admin != nil {
+				_ = admin.Shutdown(shutdownCtx)
+			}
+			fmt.Fprintf(stdout, "authdns: shutting down; final counters:\n")
+			_ = reg.WriteSummary(stdout)
+			return 0
 		}
 	}
 }

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sendervalid/internal/resolver"
+)
+
+// syncBuffer makes the output buffers safe to read while run is still
+// writing — the whole point of the test is racing shutdown against
+// serving under -race.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunServeShutdown drives the full authdns lifecycle in-process:
+// start, serve real queries, scrape the admin plane, then deliver a
+// simulated SIGTERM while traffic may still be in flight. Run with
+// -race this doubles as the shutdown-counter race regression test —
+// the old main closed the query log while timed-out handlers could
+// still append, and read counters without synchronization.
+func TestRunServeShutdown(t *testing.T) {
+	var stdout, stderr syncBuffer
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-quiet",
+			"-timescale", "0",
+			"-metrics-addr", "127.0.0.1:0",
+		}, &stdout, &stderr, stop, ready)
+	}()
+
+	var adminAddr string
+	select {
+	case adminAddr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("run did not start; stderr: %s", stderr.String())
+	}
+	if adminAddr == "" {
+		t.Fatal("no admin address despite -metrics-addr")
+	}
+
+	m := regexp.MustCompile(`on (127\.0\.0\.1:\d+)`).FindStringSubmatch(stdout.String())
+	if m == nil {
+		t.Fatalf("no DNS bound address in output: %q", stdout.String())
+	}
+	dnsAddr := m[1]
+
+	// Send real queries so the serving-path counters move.
+	res := resolver.New(resolver.Config{Server: dnsAddr, DisableCache: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, name := range []string{
+		"t01.mta00001.spf-test.dns-lab.example",
+		"t02.mta00002.spf-test.dns-lab.example",
+	} {
+		if _, err := res.LookupTXT(ctx, name); err != nil {
+			t.Fatalf("query %s: %v", name, err)
+		}
+	}
+
+	body := httpGet(t, "http://"+adminAddr+"/metrics")
+	for _, family := range []string{
+		"dns_queries_total",
+		"dns_serve_duration_seconds_bucket",
+		"dnsserver_queries_total",
+		"dnsserver_log_appended_total",
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+	if !strings.Contains(body, `dnsserver_queries_total{policy="t01"} 1`) {
+		t.Errorf("per-policy counter missing or wrong:\n%s", body)
+	}
+
+	resp, err := http.Get("http://" + adminAddr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	// Keep traffic flowing while the signal lands, to exercise the
+	// shutdown/append race.
+	raceCtx, raceCancel := context.WithCancel(context.Background())
+	defer raceCancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for raceCtx.Err() == nil {
+			qctx, qcancel := context.WithTimeout(raceCtx, 200*time.Millisecond)
+			_, _ = res.LookupTXT(qctx, "t03.mta00003.spf-test.dns-lab.example")
+			qcancel()
+		}
+	}()
+
+	stop <- os.Interrupt
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("run exited %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after signal")
+	}
+	raceCancel()
+	wg.Wait()
+
+	out := stdout.String()
+	if !strings.Contains(out, "final counters:") {
+		t.Errorf("no shutdown summary in output: %q", out)
+	}
+	if !strings.Contains(out, "dns_queries_total") {
+		t.Errorf("shutdown summary lacks query counters: %q", out)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}

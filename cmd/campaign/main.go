@@ -34,22 +34,24 @@ import (
 	"sendervalid/internal/campaign"
 	"sendervalid/internal/dataset"
 	"sendervalid/internal/experiment"
+	"sendervalid/internal/telemetry"
 )
 
 func main() {
 	var (
-		domains    = flag.Int("domains", 2000, "domains in the population")
-		seed       = flag.Int64("seed", 1, "generation seed (must match across resume)")
-		testsFlag  = flag.String("tests", "core", `test policies: "core", "all", or a comma-separated ID list`)
-		workers    = flag.Int("workers", 2*runtime.NumCPU(), "global concurrency cap")
-		rate       = flag.Float64("rate", 2, "probes/second budget per MTA (0 = unlimited)")
-		burst      = flag.Int("burst", 1, "per-MTA token bucket depth")
-		attempts   = flag.Int("attempts", 4, "attempt budget per (MTA, test) pair")
-		journal    = flag.String("journal", "", "append-only JSONL journal of task transitions")
-		resume     = flag.Bool("resume", false, "replay the journal and re-run only unfinished pairs")
-		interval   = flag.Duration("interval", 2*time.Second, "progress snapshot period (0 disables)")
-		population = flag.String("population", "notify", `population flavour: "notify" or "twoweek"`)
-		timeScale  = flag.Float64("timescale", 0.001, "protocol delay multiplier (1.0 = paper timing)")
+		domains     = flag.Int("domains", 2000, "domains in the population")
+		seed        = flag.Int64("seed", 1, "generation seed (must match across resume)")
+		testsFlag   = flag.String("tests", "core", `test policies: "core", "all", or a comma-separated ID list`)
+		workers     = flag.Int("workers", 2*runtime.NumCPU(), "global concurrency cap")
+		rate        = flag.Float64("rate", 2, "probes/second budget per MTA (0 = unlimited)")
+		burst       = flag.Int("burst", 1, "per-MTA token bucket depth")
+		attempts    = flag.Int("attempts", 4, "attempt budget per (MTA, test) pair")
+		journal     = flag.String("journal", "", "append-only JSONL journal of task transitions")
+		resume      = flag.Bool("resume", false, "replay the journal and re-run only unfinished pairs")
+		interval    = flag.Duration("interval", 2*time.Second, "progress snapshot period (0 disables)")
+		population  = flag.String("population", "notify", `population flavour: "notify" or "twoweek"`)
+		timeScale   = flag.Float64("timescale", 0.001, "protocol delay multiplier (1.0 = paper timing)")
+		metricsAddr = flag.String("metrics-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof; empty disables")
 	)
 	flag.Parse()
 
@@ -120,6 +122,24 @@ func main() {
 	}
 
 	pc := experiment.NewProbeCampaign(world, tests, opts)
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		pc.RegisterMetrics(reg)
+		telemetry.RegisterRuntimeMetrics(reg)
+		health := telemetry.NewHealth()
+		health.Register("campaign", func() error { return nil })
+		admin := &telemetry.AdminServer{Addr: *metricsAddr, Registry: reg, Health: health}
+		adminAddr, err := admin.Start()
+		exitOn(err)
+		fmt.Printf("campaign: admin plane on http://%s/metrics\n", adminAddr)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = admin.Shutdown(ctx)
+		}()
+	}
+
 	total := pc.Snapshot().Total
 	fmt.Printf("campaign: %d (MTA, test) pairs across %d MTAs, %d tests; rate %.3g/s/MTA, %d workers\n",
 		total, len(pop.MTAs), len(tests), *rate, *workers)

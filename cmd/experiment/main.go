@@ -30,20 +30,23 @@ import (
 	"sendervalid/internal/campaign"
 	"sendervalid/internal/dataset"
 	"sendervalid/internal/experiment"
+	"sendervalid/internal/mtasim"
 	"sendervalid/internal/policy"
+	"sendervalid/internal/telemetry"
 )
 
 func main() {
 	var (
-		domains    = flag.Int("domains", 2000, "domains per population (ignored with -paper-scale)")
-		seed       = flag.Int64("seed", 1, "generation seed")
-		workers    = flag.Int("workers", 2*runtime.NumCPU(), "probe/delivery concurrency")
-		timeScale  = flag.Float64("timescale", 0.001, "protocol delay multiplier (1.0 = paper timing)")
-		allTests   = flag.Bool("all-tests", false, "probe all 39 policies instead of the reported core set")
-		paperScale = flag.Bool("paper-scale", false, "use the paper's full dataset sizes")
-		logOut     = flag.String("log-out", "", "write the TwoWeekMX query log (JSON lines) for offline analysis with cmd/analyze")
-		journal    = flag.String("journal", "", "journal path prefix for the probe experiments (PREFIX.notifymx.jsonl, PREFIX.twoweekmx.jsonl)")
-		resume     = flag.Bool("resume", false, "skip (MTA, test) pairs the journals already record as finished (requires -journal)")
+		domains     = flag.Int("domains", 2000, "domains per population (ignored with -paper-scale)")
+		seed        = flag.Int64("seed", 1, "generation seed")
+		workers     = flag.Int("workers", 2*runtime.NumCPU(), "probe/delivery concurrency")
+		timeScale   = flag.Float64("timescale", 0.001, "protocol delay multiplier (1.0 = paper timing)")
+		allTests    = flag.Bool("all-tests", false, "probe all 39 policies instead of the reported core set")
+		paperScale  = flag.Bool("paper-scale", false, "use the paper's full dataset sizes")
+		logOut      = flag.String("log-out", "", "write the TwoWeekMX query log (JSON lines) for offline analysis with cmd/analyze")
+		journal     = flag.String("journal", "", "journal path prefix for the probe experiments (PREFIX.notifymx.jsonl, PREFIX.twoweekmx.jsonl)")
+		resume      = flag.Bool("resume", false, "skip (MTA, test) pairs the journals already record as finished (requires -journal)")
+		metricsAddr = flag.String("metrics-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof; empty disables")
 	)
 	flag.Parse()
 	if *resume && *journal == "" {
@@ -69,6 +72,35 @@ func main() {
 	start := time.Now()
 	ctx := context.Background()
 
+	// The admin plane spans all three phases: each world registers its
+	// serving-side families under a distinct experiment= label, so one
+	// scrape shows which phase is active and what it has served.
+	var reg *telemetry.Registry
+	phaseMetrics := func(w *experiment.World, phase string) {
+		if reg != nil {
+			w.RegisterMetrics(reg, telemetry.L("experiment", phase))
+		}
+	}
+	fleetMetrics := func() *mtasim.Metrics {
+		if reg == nil {
+			return nil
+		}
+		return &mtasim.Metrics{}
+	}
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		admin := &telemetry.AdminServer{Addr: *metricsAddr, Registry: reg, Health: telemetry.NewHealth()}
+		adminAddr, err := admin.Start()
+		exitOn(err)
+		fmt.Printf("experiment: admin plane on http://%s/metrics\n", adminAddr)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = admin.Shutdown(sctx)
+		}()
+	}
+
 	fmt.Printf("== generating populations (seed %d) ==\n", *seed)
 	nePop := dataset.Generate(neSpec)
 	twPop := dataset.Generate(twSpec)
@@ -82,9 +114,10 @@ func main() {
 		len(nePop.Domains), len(nePop.MTAs))
 	neWorld, err := experiment.BuildWorld(nePop, experiment.WorldConfig{
 		Seed: *seed, Rates: experiment.NotifyRates(), TimeScale: *timeScale,
-		EnableIPv6DNS: true,
+		EnableIPv6DNS: true, FleetMetrics: fleetMetrics(),
 	})
 	exitOn(err)
+	phaseMetrics(neWorld, "notifyemail")
 	neRun := experiment.RunNotifyEmail(ctx, neWorld, *workers)
 	neAnalysis := experiment.AnalyzeNotifyEmail(neWorld, neRun)
 	fmt.Print(experiment.RenderTable4(neAnalysis))
@@ -99,9 +132,10 @@ func main() {
 		len(nePop.MTAs), len(tests))
 	nmxWorld, err := experiment.BuildWorld(nePop, experiment.WorldConfig{
 		Seed: *seed + 7, Rates: experiment.NotifyRates(), TimeScale: *timeScale,
-		EnableIPv6DNS: true, ProfileDrift: 0.05,
+		EnableIPv6DNS: true, ProfileDrift: 0.05, FleetMetrics: fleetMetrics(),
 	})
 	exitOn(err)
+	phaseMetrics(nmxWorld, "notifymx")
 	nmxRun := runProbes(ctx, nmxWorld, tests, *workers, *journal, "notifymx", *resume)
 	nmxAnalysis := experiment.AnalyzeProbes(nmxWorld, nmxRun, false)
 	nmxAnalysis.Name = "NotifyMX"
@@ -113,9 +147,10 @@ func main() {
 	fmt.Printf("\n== TwoWeekMX experiment: probing %d MTAs ==\n", len(twPop.MTAs))
 	twWorld, err := experiment.BuildWorld(twPop, experiment.WorldConfig{
 		Seed: *seed + 13, Rates: experiment.TwoWeekRates(), TimeScale: *timeScale,
-		EnableIPv6DNS: true,
+		EnableIPv6DNS: true, FleetMetrics: fleetMetrics(),
 	})
 	exitOn(err)
+	phaseMetrics(twWorld, "twoweekmx")
 	twRun := runProbes(ctx, twWorld, tests, *workers, *journal, "twoweekmx", *resume)
 	twAnalysis := experiment.AnalyzeProbes(twWorld, twRun, true)
 

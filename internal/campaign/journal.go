@@ -7,6 +7,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"sendervalid/internal/telemetry"
 )
 
 // The journal is the campaign's durability mechanism: an append-only
@@ -44,10 +46,14 @@ type journalWriter struct {
 	mu  sync.Mutex
 	w   io.Writer
 	buf []byte
+
+	// writeSeconds times each sink Write — the durability tax per
+	// event, fsync included when the sink syncs per write.
+	writeSeconds *telemetry.Histogram
 }
 
 func newJournalWriter(w io.Writer) *journalWriter {
-	return &journalWriter{w: w}
+	return &journalWriter{w: w, writeSeconds: telemetry.NewHistogram(telemetry.LatencyBuckets)}
 }
 
 // event appends one line through the reflection-free encoder, reusing
@@ -60,7 +66,10 @@ func (j *journalWriter) event(e event) {
 	e.Time = time.Now()
 	j.mu.Lock()
 	j.buf = appendEventJSON(j.buf[:0], &e)
-	if _, err := j.w.Write(j.buf); err != nil {
+	start := time.Now()
+	_, err := j.w.Write(j.buf)
+	j.writeSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
 		j.w = nil
 	}
 	j.mu.Unlock()

@@ -123,12 +123,18 @@ func (b *builder) packSection(rrs []RR) error {
 }
 
 // msgPool recycles Message values across queries on the serving path.
-var msgPool = sync.Pool{New: func() any { return new(Message) }}
+var msgPool = sync.Pool{New: func() any {
+	msgPoolMisses.Inc()
+	return new(Message)
+}}
 
 // GetMsg returns a pooled Message ready for Unpack, SetQuestion, or
 // SetReply. Pooled messages retain their Questions backing array, so a
 // steady-state server reuses it instead of allocating per query.
-func GetMsg() *Message { return msgPool.Get().(*Message) }
+func GetMsg() *Message {
+	msgPoolGets.Inc()
+	return msgPool.Get().(*Message)
+}
 
 // PutMsg resets m and returns it to the pool. The caller must not
 // retain m, or any slice taken from it, after PutMsg — in particular a

@@ -1,0 +1,120 @@
+package dns
+
+import (
+	"sendervalid/internal/telemetry"
+)
+
+// The transport endpoints are instrumented unconditionally: every
+// instrument is an atomic counter (or a fixed-bucket histogram of
+// atomic counters), so the serving hot path pays one or two
+// uncontended atomic adds per query whether or not anything scrapes
+// them. Registration against a telemetry.Registry is the opt-in step.
+
+// serverMetrics are one endpoint's always-on instruments. The zero
+// value is usable for all counters; the latency histogram is created
+// by init (idempotent, called from Start).
+type serverMetrics struct {
+	queriesUDP Counter
+	queriesTCP Counter
+	// rcodes counts responses by RCODE. DNS header RCODEs are 4 bits,
+	// so a fixed array replaces a labeled family on the write path.
+	rcodes [16]Counter
+	// serve is the query latency from packet arrival to response
+	// written, in seconds.
+	serve *telemetry.Histogram
+}
+
+// Counter aliases the telemetry counter so the dns package's exported
+// accessors keep returning plain uint64s without importing telemetry
+// at every call site.
+type Counter = telemetry.Counter
+
+func (m *serverMetrics) init() {
+	if m.serve == nil {
+		m.serve = telemetry.NewHistogram(telemetry.LatencyBuckets)
+	}
+}
+
+// observeServe records one served query's latency. Safe before init
+// (no histogram yet) so direct handler tests need no setup.
+func (m *serverMetrics) observeServe(seconds float64) {
+	if h := m.serve; h != nil {
+		h.Observe(seconds)
+	}
+}
+
+// rcodeLabels are the label values for the 16 possible header RCODEs,
+// precomputed so the render path never calls RCode.String.
+var rcodeLabels = [16]string{
+	"NOERROR", "FORMERR", "SERVFAIL", "NXDOMAIN", "NOTIMP", "REFUSED",
+	"RCODE6", "RCODE7", "RCODE8", "RCODE9", "RCODE10", "RCODE11",
+	"RCODE12", "RCODE13", "RCODE14", "RCODE15",
+}
+
+// RegisterMetrics publishes the endpoint's instruments under the
+// dns_ namespace with the given constant labels (callers serving
+// several endpoints distinguish them with e.g. endpoint="v6"). Call
+// after Start so the latency histogram and rate limiter exist.
+func (s *Server) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.Label) {
+	s.metrics.init()
+	reg.MustCounter("dns_queries_total",
+		"Queries received, by transport.",
+		&s.metrics.queriesUDP, append(labelsCopy(labels), telemetry.L("transport", "udp"))...)
+	reg.MustCounter("dns_queries_total",
+		"Queries received, by transport.",
+		&s.metrics.queriesTCP, append(labelsCopy(labels), telemetry.L("transport", "tcp"))...)
+	for i := range s.metrics.rcodes {
+		reg.MustCounter("dns_responses_total",
+			"Responses written, by RCODE.",
+			&s.metrics.rcodes[i], append(labelsCopy(labels), telemetry.L("rcode", rcodeLabels[i]))...)
+	}
+	reg.MustHistogram("dns_serve_duration_seconds",
+		"Query latency from arrival to response written.",
+		s.metrics.serve, labels...)
+	reg.MustCounter("dns_handler_panics_total",
+		"Handler panics recovered into SERVFAIL responses.",
+		&s.panics, labels...)
+	reg.MustCounter("dns_ratelimit_refused_total",
+		"Queries answered REFUSED by the per-source rate limiter.",
+		&s.refused, labels...)
+	reg.MustGaugeFunc("dns_ratelimit_sources",
+		"Sources currently tracked by the rate limiter.",
+		func() float64 {
+			if s.limiter == nil {
+				return 0
+			}
+			return float64(s.limiter.Sources())
+		}, labels...)
+}
+
+// labelsCopy guards against append aliasing when one base label slice
+// fans out into several series.
+func labelsCopy(labels []telemetry.Label) []telemetry.Label {
+	return append([]telemetry.Label(nil), labels...)
+}
+
+// Pool counters are package-level: the message and packet pools are
+// shared by every endpoint in the process. A pool "miss" runs the
+// pool's New function — the allocation the pool exists to avoid — so
+// hits = gets - misses.
+var (
+	msgPoolGets   Counter
+	msgPoolMisses Counter
+	pktPoolGets   Counter
+	pktPoolMisses Counter
+)
+
+// RegisterPoolMetrics publishes the process-wide message/packet pool
+// counters. Call at most once per registry.
+func RegisterPoolMetrics(reg *telemetry.Registry) {
+	reg.MustCounter("dns_pool_gets_total",
+		"Pool fetches, by pool.", &msgPoolGets, telemetry.L("pool", "msg"))
+	reg.MustCounter("dns_pool_gets_total",
+		"Pool fetches, by pool.", &pktPoolGets, telemetry.L("pool", "pkt"))
+	reg.MustCounter("dns_pool_misses_total",
+		"Pool fetches that allocated (pool empty), by pool.",
+		&msgPoolMisses, telemetry.L("pool", "msg"))
+	reg.MustCounter("dns_pool_misses_total",
+		"Pool fetches that allocated (pool empty), by pool.",
+		&pktPoolMisses, telemetry.L("pool", "pkt"))
+}

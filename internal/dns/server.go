@@ -7,7 +7,6 @@ import (
 	"net"
 	"net/netip"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -94,8 +93,9 @@ type Server struct {
 	limiter *RateLimiter
 	sources sourceCache
 
-	panics  atomic.Uint64
-	refused atomic.Uint64
+	metrics serverMetrics
+	panics  Counter
+	refused Counter
 }
 
 // ErrServerStarted is returned when a server is started twice.
@@ -141,6 +141,7 @@ func (s *Server) Start() (net.Addr, error) {
 	s.pc, s.ln = pc, ln
 	s.shutdown = make(chan struct{})
 	s.started = true
+	s.metrics.init()
 	if s.MaxQPSPerSource > 0 {
 		s.limiter = NewRateLimiter(s.MaxQPSPerSource, s.BurstPerSource)
 	}
@@ -199,6 +200,7 @@ const maxUDPQuery = 4096
 // pktPool recycles the 4096-byte buffers that carry one UDP query from
 // the read loop into its serving goroutine.
 var pktPool = sync.Pool{New: func() any {
+	pktPoolMisses.Inc()
 	b := make([]byte, maxUDPQuery)
 	return &b
 }}
@@ -263,11 +265,11 @@ func makeSourceID(a net.Addr) sourceID {
 
 // Panics returns the number of handler panics recovered into SERVFAIL
 // responses since Start.
-func (s *Server) Panics() uint64 { return s.panics.Load() }
+func (s *Server) Panics() uint64 { return s.panics.Value() }
 
 // Refused returns the number of queries answered REFUSED by the
 // per-source rate limiter since Start.
-func (s *Server) Refused() uint64 { return s.refused.Load() }
+func (s *Server) Refused() uint64 { return s.refused.Value() }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.Logf != nil {
@@ -302,7 +304,7 @@ func (s *Server) overLimit(host string, now time.Time) bool {
 	if s.limiter.Allow(host, now) {
 		return false
 	}
-	s.refused.Add(1)
+	s.refused.Inc()
 	return true
 }
 
@@ -312,7 +314,7 @@ func (s *Server) overLimit(host string, now time.Time) bool {
 func (s *Server) serveRequest(w ResponseWriter, r *Request) {
 	defer func() {
 		if v := recover(); v != nil {
-			s.panics.Add(1)
+			s.panics.Inc()
 			s.logf("dns: handler panic serving %s from %s: %v", describeQuery(r.Msg), r.RemoteAddr, v)
 			resp := GetMsg().SetReply(r.Msg)
 			resp.RCode = RCodeServerFailure
@@ -358,6 +360,7 @@ func (s *Server) serveUDP(pc net.PacketConn) {
 		}
 		delay = 0
 		received := time.Now()
+		pktPoolGets.Inc()
 		pktp := pktPool.Get().(*[]byte)
 		copy(*pktp, buf[:n])
 		s.wg.Add(1)
@@ -376,10 +379,12 @@ func (s *Server) handlePacket(pc net.PacketConn, raddr net.Addr, pktp *[]byte, n
 	if err != nil || msg.Response {
 		return
 	}
-	w := &udpResponseWriter{pc: pc, raddr: raddr, maxSize: msg.EDNSUDPSize()}
+	s.metrics.queriesUDP.Inc()
+	w := &udpResponseWriter{pc: pc, raddr: raddr, maxSize: msg.EDNSUDPSize(), metrics: &s.metrics}
 	src := s.sources.lookup(raddr)
 	if s.overLimit(src.host, received) {
 		refuse(w, msg)
+		s.metrics.observeServe(time.Since(received).Seconds())
 		return
 	}
 	s.serveRequest(w, &Request{
@@ -389,6 +394,7 @@ func (s *Server) handlePacket(pc net.PacketConn, raddr net.Addr, pktp *[]byte, n
 		Received:   received,
 		remote:     src.str,
 	})
+	s.metrics.observeServe(time.Since(received).Seconds())
 }
 
 func (s *Server) serveTCP(ln net.Listener) {
@@ -422,7 +428,7 @@ func (s *Server) handleTCPConn(conn net.Conn) {
 	}
 	raddr := conn.RemoteAddr()
 	src := s.sources.lookup(raddr)
-	w := &tcpResponseWriter{conn: conn}
+	w := &tcpResponseWriter{conn: conn, metrics: &s.metrics}
 	var pkt []byte // per-connection read buffer, grown on demand
 	msg := GetMsg()
 	defer PutMsg(msg)
@@ -437,8 +443,10 @@ func (s *Server) handleTCPConn(conn net.Conn) {
 		if err := msg.Unpack(pkt); err != nil || msg.Response {
 			return
 		}
+		s.metrics.queriesTCP.Inc()
 		if s.overLimit(src.host, received) {
 			refuse(w, msg)
+			s.metrics.observeServe(time.Since(received).Seconds())
 			continue
 		}
 		s.serveRequest(w, &Request{
@@ -448,6 +456,7 @@ func (s *Server) handleTCPConn(conn net.Conn) {
 			Received:   received,
 			remote:     src.str,
 		})
+		s.metrics.observeServe(time.Since(received).Seconds())
 		if s.closing() {
 			return
 		}
@@ -458,9 +467,13 @@ type udpResponseWriter struct {
 	pc      net.PacketConn
 	raddr   net.Addr
 	maxSize int
+	metrics *serverMetrics
 }
 
 func (w *udpResponseWriter) WriteMsg(m *Message) error {
+	if w.metrics != nil {
+		w.metrics.rcodes[m.RCode&0x0F].Inc()
+	}
 	bp := respBufPool.Get().(*[]byte)
 	defer respBufPool.Put(bp)
 	packed, err := m.AppendPack((*bp)[:0])
@@ -483,10 +496,14 @@ func (w *udpResponseWriter) WriteMsg(m *Message) error {
 }
 
 type tcpResponseWriter struct {
-	conn net.Conn
+	conn    net.Conn
+	metrics *serverMetrics
 }
 
 func (w *tcpResponseWriter) WriteMsg(m *Message) error {
+	if w.metrics != nil {
+		w.metrics.rcodes[m.RCode&0x0F].Inc()
+	}
 	bp := respBufPool.Get().(*[]byte)
 	defer respBufPool.Put(bp)
 	// Encode past a reserved two-octet length prefix (RFC 1035 §4.2.2)

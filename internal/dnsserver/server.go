@@ -7,10 +7,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"sendervalid/internal/dns"
+	"sendervalid/internal/telemetry"
 )
 
 // Query is a parsed, attributed query handed to a Responder.
@@ -209,10 +209,12 @@ type Server struct {
 	initOnce sync.Once
 	ordered  []*Zone
 
-	panics atomic.Uint64
+	metrics serverMetrics
+	panics  telemetry.Counter
 }
 
-// init compiles every zone and orders them longest-suffix-first.
+// init compiles every zone and orders them longest-suffix-first, and
+// creates the always-on instruments the handler increments.
 func (s *Server) init() {
 	s.initOnce.Do(func() {
 		s.ordered = make([]*Zone, len(s.Zones))
@@ -223,6 +225,7 @@ func (s *Server) init() {
 		sort.SliceStable(s.ordered, func(i, j int) bool {
 			return len(s.ordered[i].suffix) > len(s.ordered[j].suffix)
 		})
+		s.metrics.init()
 	})
 }
 
@@ -265,7 +268,7 @@ func (s *Server) endpoint(addr string, v6 bool) *dns.Server {
 // SERVFAIL answers since Start, summed with the endpoints' own
 // recovered handler panics.
 func (s *Server) Panics() uint64 {
-	n := s.panics.Load()
+	n := s.panics.Value()
 	if s.srv4 != nil {
 		n += s.srv4.Panics()
 	}
@@ -345,6 +348,7 @@ func (s *Server) handler(v6 bool) dns.Handler {
 		name := dns.CanonicalName(question.Name)
 		zone := s.zoneFor(name)
 		if zone == nil {
+			s.metrics.zoneMiss.Inc()
 			resp := dns.GetMsg().SetReply(r.Msg)
 			defer dns.PutMsg(resp)
 			resp.RCode = dns.RCodeRefused
@@ -352,6 +356,7 @@ func (s *Server) handler(v6 bool) dns.Handler {
 			return
 		}
 		q, _ := zone.parse(name, question.Type, r.Transport, v6)
+		s.metrics.queries.With(policyLabel(q.TestID)).Inc()
 
 		if s.Log != nil && !zone.NoLog {
 			s.Log.Append(LogEntry{
@@ -421,7 +426,7 @@ func (s *Server) handler(v6 bool) dns.Handler {
 func (s *Server) respond(responder Responder, q *Query) (shaped Response) {
 	defer func() {
 		if v := recover(); v != nil {
-			s.panics.Add(1)
+			s.panics.Inc()
 			if s.Logf != nil {
 				s.Logf("dnsserver: responder panic on %s: %v", q, v)
 			}

@@ -20,6 +20,7 @@ import (
 	"sendervalid/internal/mtasim"
 	"sendervalid/internal/netsim"
 	"sendervalid/internal/policy"
+	"sendervalid/internal/telemetry"
 )
 
 // Default zone suffixes (the paper used spf-test.dns-lab.org and
@@ -70,6 +71,9 @@ type WorldConfig struct {
 	// same MTAs across experiments months apart, observing a small
 	// amount of behavioural change (§6.2); ~0.05 models that drift.
 	ProfileDrift float64
+	// FleetMetrics, when non-nil, aggregates telemetry across the
+	// whole MTA fleet (see World.RegisterMetrics).
+	FleetMetrics *mtasim.Metrics
 }
 
 // World is a running simulated environment: the authoritative DNS
@@ -190,6 +194,7 @@ func BuildWorld(pop *dataset.Population, cfg WorldConfig) (*World, error) {
 			DNSTimeout:         cfg.DNSTimeout,
 			PostDataDelay:      w.postDataDelay(info.ProfileSeed),
 			BlacklistedSources: []netip.Addr{ProbeAddr4, ProbeAddr6},
+			Metrics:            cfg.FleetMetrics,
 		})
 		if err := mta.Start(); err != nil {
 			w.Close()
@@ -198,6 +203,19 @@ func BuildWorld(pop *dataset.Population, cfg WorldConfig) (*World, error) {
 		w.MTAs[info.ID] = mta
 	}
 	return w, nil
+}
+
+// RegisterMetrics publishes the world's serving-side telemetry — the
+// authoritative DNS server's families and, when WorldConfig.
+// FleetMetrics was set, the MTA fleet totals — under the given
+// constant labels. Sequential worlds in one process (cmd/experiment's
+// three phases) share a registry by labeling each registration with a
+// distinct experiment= label.
+func (w *World) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.Label) {
+	w.DNS.RegisterMetrics(reg, labels...)
+	if w.cfg.FleetMetrics != nil {
+		w.cfg.FleetMetrics.RegisterMetrics(reg, labels...)
+	}
 }
 
 // providerFlagsByMTA maps MTA IDs to the pinned Table 6 validation

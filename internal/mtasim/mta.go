@@ -47,6 +47,9 @@ type Config struct {
 	// blacklists, §6.2; mail from other sources is unaffected). Empty
 	// means RejectProbe rejects every session.
 	BlacklistedSources []netip.Addr
+	// Metrics, when non-nil, receives fleet-level telemetry: every
+	// Stats increment is mirrored into the shared counters.
+	Metrics *Metrics
 }
 
 // Stats counts an MTA's activity.
@@ -167,17 +170,20 @@ func (m *MTA) Stats() Stats {
 
 func (m *MTA) bump(f func(*Stats)) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	before := m.stats
 	f(&m.stats)
+	after := m.stats
+	m.mu.Unlock()
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.add(before, after)
+	}
 }
 
 // --- SMTP hooks ---
 
 func (m *MTA) onConnect(s *smtp.Session) *smtp.Reply {
-	m.mu.Lock()
-	m.stats.Sessions++
-	n := m.stats.Sessions
-	m.mu.Unlock()
+	var n int
+	m.bump(func(st *Stats) { st.Sessions++; n = st.Sessions })
 	if tf := m.cfg.Profile.TempfailSessions; tf > 0 && n <= tf {
 		m.bump(func(st *Stats) { st.TempfailedSessions++ })
 		return &smtp.Reply{Code: 421, Text: m.cfg.Hostname + " greylisted, try again later"}

@@ -1,0 +1,52 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+
+	"sendervalid/internal/telemetry"
+)
+
+// resolverMetrics are the stub resolver's always-on instruments,
+// incremented unconditionally on the query path and published only
+// when RegisterMetrics attaches them to a registry.
+type resolverMetrics struct {
+	queries   telemetry.Counter // Exchange calls (cache hits included)
+	cacheHits telemetry.Counter
+	retries   telemetry.Counter // transport-level retry attempts
+	timeouts  telemetry.Counter // attempts that failed with a deadline/timeout
+}
+
+// isTimeout reports whether an exchange attempt failed on a deadline:
+// a net.Error timeout or a context deadline. These are the errors the
+// retry loop exists for, so they get their own counter.
+func isTimeout(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+// RegisterMetrics publishes the resolver's families under the
+// resolver_ namespace with the given constant labels (an experiment
+// running several resolvers would label per upstream).
+func (r *Resolver) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.Label) {
+	reg.MustCounter("resolver_queries_total",
+		"Exchange calls, including ones answered from cache.",
+		&r.metrics.queries, labels...)
+	reg.MustCounter("resolver_cache_hits_total",
+		"Exchange calls answered from the in-process cache.",
+		&r.metrics.cacheHits, labels...)
+	reg.MustCounter("resolver_retries_total",
+		"Transport-level query retries after a retryable failure.",
+		&r.metrics.retries, labels...)
+	reg.MustCounter("resolver_timeouts_total",
+		"Exchange attempts that failed on a timeout or deadline.",
+		&r.metrics.timeouts, labels...)
+	reg.MustGaugeFunc("resolver_cache_entries",
+		"Entries currently held in the resolver cache.",
+		func() float64 { return float64(r.CacheLen()) }, labels...)
+}

@@ -19,7 +19,6 @@ import (
 	"os"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -91,7 +90,7 @@ type Resolver struct {
 	cfg    Config
 	client *dns.Client
 
-	retries atomic.Uint64
+	metrics resolverMetrics
 
 	mu    sync.Mutex
 	cache map[cacheKey]cacheEntry
@@ -165,8 +164,10 @@ func isV6HostPort(hostport string) bool {
 func (r *Resolver) Exchange(ctx context.Context, name string, t dns.Type) (*dns.Message, error) {
 	name = dns.CanonicalName(name)
 	key := cacheKey{name: name, typ: t}
+	r.metrics.queries.Inc()
 	if !r.cfg.DisableCache {
 		if msg, ok := r.cacheGet(key); ok {
+			r.metrics.cacheHits.Inc()
 			return msg, nil
 		}
 	}
@@ -184,10 +185,13 @@ func (r *Resolver) Exchange(ctx context.Context, name string, t dns.Type) (*dns.
 		if err == nil {
 			break
 		}
+		if isTimeout(err) {
+			r.metrics.timeouts.Inc()
+		}
 		if ctx.Err() != nil || attempt >= retries || !retryable(err) {
 			return nil, err
 		}
-		r.retries.Add(1)
+		r.metrics.retries.Inc()
 	}
 	switch resp.RCode {
 	case dns.RCodeSuccess, dns.RCodeNameError:
@@ -227,7 +231,7 @@ func (r *Resolver) exchangeOnce(ctx context.Context, name string, t dns.Type) (*
 
 // RetryCount returns the number of transport-level query retries the
 // resolver has performed.
-func (r *Resolver) RetryCount() uint64 { return r.retries.Load() }
+func (r *Resolver) RetryCount() uint64 { return r.metrics.retries.Value() }
 
 // retryable classifies an exchange error as a transient transport
 // fault worth re-sending the query for: deadline expiry, refused or

@@ -1,0 +1,41 @@
+package smtp
+
+import (
+	"sendervalid/internal/telemetry"
+)
+
+// serverMetrics are the receiving front end's always-on instruments:
+// plain atomic counters the session loop increments unconditionally,
+// published only when RegisterMetrics attaches them to a registry.
+type serverMetrics struct {
+	sessions telemetry.Counter
+	active   telemetry.Gauge
+	commands telemetry.Counter
+	messages telemetry.Counter
+	shedded  telemetry.Counter // connections 421'd over MaxConns
+	evicted  telemetry.Counter // sessions 421'd over a budget
+}
+
+// RegisterMetrics publishes the server's families under the smtp_
+// namespace with the given constant labels (a fleet of simulated MTAs
+// would label per MTA class, a production receiver per listener).
+func (s *Server) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.Label) {
+	reg.MustCounter("smtp_sessions_total",
+		"Sessions admitted (greeted), including greet-and-reject.",
+		&s.metrics.sessions, labels...)
+	reg.MustGauge("smtp_sessions_active",
+		"Sessions currently being served.",
+		&s.metrics.active, labels...)
+	reg.MustCounter("smtp_commands_total",
+		"Commands read across all sessions.",
+		&s.metrics.commands, labels...)
+	reg.MustCounter("smtp_messages_total",
+		"DATA payloads accepted to completion.",
+		&s.metrics.messages, labels...)
+	reg.MustCounter("smtp_shedded_conns_total",
+		"Connections 421'd at admission because the server was at MaxConns.",
+		&s.metrics.shedded, labels...)
+	reg.MustCounter("smtp_evicted_sessions_total",
+		"Sessions 421'd for exhausting a command or error budget.",
+		&s.metrics.evicted, labels...)
+}

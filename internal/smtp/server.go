@@ -106,13 +106,13 @@ type Server struct {
 	// Clock supplies timestamps for trace headers; nil means time.Now.
 	Clock func() time.Time
 
-	mu      sync.Mutex
-	wg      sync.WaitGroup
-	ln      []net.Listener
-	conns   map[net.Conn]struct{}
-	closed  bool
-	shedded uint64 // connections 421'd over MaxConns
-	evicted uint64 // sessions 421'd over a budget
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	ln     []net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	metrics serverMetrics
 }
 
 // forget deregisters an active session connection (admit registers
@@ -169,19 +169,11 @@ func (s *Server) isClosed() bool {
 
 // SheddedConns returns how many connections were turned away with 421
 // because the server was at MaxConns.
-func (s *Server) SheddedConns() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.shedded
-}
+func (s *Server) SheddedConns() uint64 { return s.metrics.shedded.Value() }
 
 // EvictedSessions returns how many sessions were closed with 421 for
 // exhausting their command or error budget.
-func (s *Server) EvictedSessions() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.evicted
-}
+func (s *Server) EvictedSessions() uint64 { return s.metrics.evicted.Value() }
 
 // Close stops all listeners and waits for active sessions.
 func (s *Server) Close() {
@@ -271,7 +263,7 @@ func (s *Server) admit(conn net.Conn) (ok, overCap bool) {
 		return false, false
 	}
 	if len(s.conns) >= s.maxConns() {
-		s.shedded++
+		s.metrics.shedded.Inc()
 		return false, true
 	}
 	if s.conns == nil {
@@ -282,9 +274,7 @@ func (s *Server) admit(conn net.Conn) (ok, overCap bool) {
 }
 
 func (s *Server) noteEvicted() {
-	s.mu.Lock()
-	s.evicted++
-	s.mu.Unlock()
+	s.metrics.evicted.Inc()
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -302,6 +292,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	defer s.forget(conn)
+	s.metrics.sessions.Inc()
+	s.metrics.active.Add(1)
+	defer s.metrics.active.Add(-1)
 	sess := &Session{
 		RemoteAddr: conn.RemoteAddr(),
 		ClientIP:   clientIP(conn.RemoteAddr()),
@@ -375,6 +368,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		commands++
+		s.metrics.commands.Inc()
 		if commands > s.maxCommands() {
 			evict("too many commands, closing connection")
 			return
@@ -453,6 +447,7 @@ func (s *Server) serveConn(conn net.Conn) {
 					final = r
 				}
 			}
+			s.metrics.messages.Inc()
 			sess.reset()
 			if !send(final) {
 				return

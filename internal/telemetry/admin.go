@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+)
+
+// AdminServer is the operational HTTP plane of a serving process:
+//
+//	/metrics       Prometheus text exposition of the Registry
+//	/healthz       200 when every registered health check passes,
+//	               503 with a per-check report otherwise
+//	/statusz       JSON snapshot of every metric family
+//	/debug/pprof/  the standard profiling endpoints
+//
+// It binds its own listener (never the serving sockets) so a saturated
+// query path cannot starve operators of visibility, and vice versa.
+type AdminServer struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9153". Use port 0
+	// for an ephemeral port in tests.
+	Addr string
+	// Registry supplies /metrics and /statusz. Required.
+	Registry *Registry
+	// Health supplies /healthz. Nil means always healthy.
+	Health *Health
+
+	started time.Time
+	ln      net.Listener
+	srv     *http.Server
+}
+
+// Handler builds the admin mux. Exposed for tests and for embedding
+// the admin plane into an existing HTTP server.
+func (a *AdminServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/statusz", a.handleStatusz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds Addr and serves in a background goroutine. It returns
+// the bound address (useful with port 0).
+func (a *AdminServer) Start() (net.Addr, error) {
+	if a.Registry == nil {
+		return nil, fmt.Errorf("telemetry: AdminServer requires a Registry")
+	}
+	ln, err := net.Listen("tcp", a.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: admin listen: %w", err)
+	}
+	a.started = time.Now()
+	a.ln = ln
+	a.srv = &http.Server{
+		Handler:           a.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = a.srv.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Shutdown stops the admin server, waiting for in-flight requests.
+func (a *AdminServer) Shutdown(ctx context.Context) error {
+	if a.srv == nil {
+		return nil
+	}
+	return a.srv.Shutdown(ctx)
+}
+
+func (a *AdminServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.Registry.WritePrometheus(w)
+}
+
+func (a *AdminServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if a.Health == nil {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	results, healthy := a.Health.Check()
+	if !healthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	for _, r := range results {
+		if r.OK {
+			fmt.Fprintf(w, "ok  %s\n", r.Name)
+		} else {
+			fmt.Fprintf(w, "FAIL %s: %s\n", r.Name, r.Err)
+		}
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// statusz is the JSON document served at /statusz.
+type statusz struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Goroutines    int              `json:"goroutines"`
+	Health        []CheckResult    `json:"health,omitempty"`
+	Healthy       bool             `json:"healthy"`
+	Metrics       []FamilySnapshot `json:"metrics"`
+}
+
+func (a *AdminServer) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	doc := statusz{
+		Goroutines: runtime.NumGoroutine(),
+		Healthy:    true,
+		Metrics:    a.Registry.Snapshot(),
+	}
+	if !a.started.IsZero() {
+		doc.UptimeSeconds = time.Since(a.started).Seconds()
+	}
+	if a.Health != nil {
+		doc.Health, doc.Healthy = a.Health.Check()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// RegisterRuntimeMetrics registers process-level families every
+// long-running command wants: goroutine count, heap in use, GC cycles,
+// and process start time.
+func RegisterRuntimeMetrics(reg *Registry) {
+	start := time.Now()
+	reg.MustGaugeFunc("go_goroutines", "Number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.MustGaugeFunc("go_heap_inuse_bytes", "Heap bytes in use.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapInuse)
+	})
+	reg.MustCounterFunc("go_gc_cycles_total", "Completed GC cycles.", func() uint64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return uint64(ms.NumGC)
+	})
+	reg.MustGaugeFunc("process_uptime_seconds", "Seconds since process start.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+	reg.MustGaugeFunc("process_pid", "Process id.", func() float64 {
+		return float64(os.Getpid())
+	})
+}

@@ -1,0 +1,571 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for building a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Metric family types, as they appear in # TYPE lines.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one registered stream of samples: exactly one of the
+// sample sources is set.
+type series struct {
+	labels []Label
+	key    string // canonical label signature: sort + dedup + render order
+
+	counter   *Counter
+	counterFn func() uint64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// vecEntry is one registered vec under a family name: the vec itself
+// plus the constant labels distinguishing it from sibling vecs (the
+// same way two static series share a name with disjoint labelsets).
+type vecEntry struct {
+	labelName string
+	constants []Label
+	key       string // canonical signature of the constant labels
+
+	cvec *CounterVec
+	hvec *HistogramVec
+}
+
+// family groups every series sharing a metric name. A family is either
+// static (explicitly registered series) or dynamic (backed by vecs
+// whose children appear and disappear at render time); never both.
+type family struct {
+	name string
+	help string
+	typ  string
+
+	series []*series
+	vecs   []*vecEntry
+}
+
+// Registry holds registered metrics and renders them. The zero value
+// is not usable; call NewRegistry. All methods are safe for concurrent
+// use; registration typically happens at startup and rendering at
+// scrape time, neither on a serving hot path.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// MustCounter registers c under name with optional constant labels.
+// It panics on an invalid name or label, a name already registered
+// with a different type or help, or a duplicate label set.
+func (r *Registry) MustCounter(name, help string, c *Counter, labels ...Label) {
+	r.add(name, help, typeCounter, &series{labels: labels, counter: c})
+}
+
+// MustCounterFunc registers a counter whose value is read from fn at
+// render time — the bridge for pre-existing atomic counters owned by
+// other packages (AsyncLog drops, rate-limiter refusals).
+func (r *Registry) MustCounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.add(name, help, typeCounter, &series{labels: labels, counterFn: fn})
+}
+
+// MustGauge registers g under name with optional constant labels.
+func (r *Registry) MustGauge(name, help string, g *Gauge, labels ...Label) {
+	r.add(name, help, typeGauge, &series{labels: labels, gauge: g})
+}
+
+// MustGaugeFunc registers a gauge read from fn at render time.
+func (r *Registry) MustGaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.add(name, help, typeGauge, &series{labels: labels, gaugeFn: fn})
+}
+
+// MustHistogram registers h under name with optional constant labels.
+func (r *Registry) MustHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.add(name, help, typeHistogram, &series{labels: labels, hist: h})
+}
+
+// MustCounterVec registers a bounded counter family keyed by
+// labelName. Like MustCounter, it attaches a caller-owned instrument:
+// the component creates its vec (NewCounterVec) and increments it on
+// its hot path whether or not anything registers it. Constant labels
+// are rendered before the family label.
+func (r *Registry) MustCounterVec(name, help, labelName string, v *CounterVec, labels ...Label) {
+	r.addVec(name, help, typeCounter, labelName, labels, &vecEntry{cvec: v})
+}
+
+// MustHistogramVec registers a bounded histogram family keyed by
+// labelName.
+func (r *Registry) MustHistogramVec(name, help, labelName string, v *HistogramVec, labels ...Label) {
+	r.addVec(name, help, typeHistogram, labelName, labels, &vecEntry{hvec: v})
+}
+
+func (r *Registry) add(name, help, typ string, s *series) {
+	validateName(name)
+	for _, l := range s.labels {
+		validateLabel(l.Name)
+	}
+	s.key = labelKey(s.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, typ)
+	if len(f.vecs) > 0 {
+		panic(fmt.Sprintf("telemetry: metric %q is a labeled family; cannot add static series", name))
+	}
+	for _, have := range f.series {
+		if have.key == s.key {
+			panic(fmt.Sprintf("telemetry: duplicate series %s%s", name, s.key))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+func (r *Registry) addVec(name, help, typ, labelName string, labels []Label, e *vecEntry) {
+	validateName(name)
+	validateLabel(labelName)
+	for _, l := range labels {
+		validateLabel(l.Name)
+	}
+	e.labelName = labelName
+	e.constants = labels
+	e.key = labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, typ)
+	if len(f.series) > 0 {
+		panic(fmt.Sprintf("telemetry: metric %q already registered", name))
+	}
+	for _, have := range f.vecs {
+		if have.key == e.key {
+			panic(fmt.Sprintf("telemetry: duplicate series %s%s", name, e.key))
+		}
+		if have.labelName != e.labelName {
+			panic(fmt.Sprintf("telemetry: metric %q registered with family labels %q and %q",
+				name, have.labelName, e.labelName))
+		}
+	}
+	f.vecs = append(f.vecs, e)
+}
+
+// familyLocked returns (creating if needed) the family for name,
+// enforcing that re-registration agrees on type and help.
+func (r *Registry) familyLocked(name, help, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	if f.help != help {
+		panic(fmt.Sprintf("telemetry: metric %q registered with conflicting help", name))
+	}
+	return f
+}
+
+func validateName(name string) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+}
+
+func validateLabel(name string) {
+	if !validLabelName(name) {
+		panic(fmt.Sprintf("telemetry: invalid label name %q", name))
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey renders labels in registration order as the series'
+// identity and sort key: {a="x",b="y"}. Empty labels yield "".
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	appendLabels(&b, labels, "", "")
+	return b.String()
+}
+
+// appendLabels writes {l1="v1",...} plus up to one extra pair to b.
+// With no labels at all it writes nothing.
+func appendLabels(b *strings.Builder, labels []Label, extraName, extraValue string) {
+	if len(labels) == 0 && extraName == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		escapeLabelValue(b, l.Value)
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		escapeLabelValue(b, extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// escapeLabelValue applies the exposition-format escapes for label
+// values: backslash, double quote, and newline.
+func escapeLabelValue(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// escapeHelp applies the exposition-format escapes for HELP text:
+// backslash and newline.
+func escapeHelp(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// formatFloat renders a sample value: decimal shortest-form for finite
+// values, and the exposition spellings NaN / +Inf / -Inf otherwise.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4). Output is deterministic for a
+// fixed registry state: families are sorted by name, series by label
+// signature, and dynamic family children by label value.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		escapeHelp(&b, f.help)
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+		renderFamily(&b, f)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderFamily(b *strings.Builder, f *family) {
+	switch {
+	case len(f.vecs) > 0:
+		for _, e := range sortedVecs(f) {
+			if e.cvec != nil {
+				for _, child := range sortedCounterChildren(e.cvec) {
+					writeSample(b, f.name, "", e.constants, e.labelName, child.label,
+						strconv.FormatUint(child.c.Value(), 10))
+				}
+			} else {
+				for _, child := range sortedHistogramChildren(e.hvec) {
+					renderHistogram(b, f.name, e.constants, e.labelName, child.label, child.h.Snapshot())
+				}
+			}
+		}
+	default:
+		ordered := append([]*series(nil), f.series...)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
+		for _, s := range ordered {
+			switch {
+			case s.hist != nil:
+				renderHistogram(b, f.name, s.labels, "", "", s.hist.Snapshot())
+			case s.counter != nil:
+				writeSample(b, f.name, "", s.labels, "", "", strconv.FormatUint(s.counter.Value(), 10))
+			case s.counterFn != nil:
+				writeSample(b, f.name, "", s.labels, "", "", strconv.FormatUint(s.counterFn(), 10))
+			case s.gauge != nil:
+				writeSample(b, f.name, "", s.labels, "", "", formatFloat(s.gauge.Value()))
+			case s.gaugeFn != nil:
+				writeSample(b, f.name, "", s.labels, "", "", formatFloat(s.gaugeFn()))
+			}
+		}
+	}
+}
+
+// renderHistogram writes the exposition triplet for one histogram
+// series: cumulative _bucket lines ending at le="+Inf", then _sum and
+// _count.
+func renderHistogram(b *strings.Builder, name string, labels []Label, vecLabel, vecValue string, snap HistogramSnapshot) {
+	full := labels
+	if vecLabel != "" {
+		full = withLabel(labels, vecLabel, vecValue)
+	}
+	for i, bound := range snap.Bounds {
+		writeSample(b, name, "_bucket", full, "le", formatFloat(bound),
+			strconv.FormatUint(snap.Counts[i], 10))
+	}
+	writeSample(b, name, "_bucket", full, "le", "+Inf",
+		strconv.FormatUint(snap.Count, 10))
+	writeSample(b, name, "_sum", full, "", "", formatFloat(snap.Sum))
+	writeSample(b, name, "_count", full, "", "", strconv.FormatUint(snap.Count, 10))
+}
+
+// writeSample writes one exposition line:
+// name suffix {labels, extra} value.
+func writeSample(b *strings.Builder, name, suffix string, labels []Label, extraName, extraValue, value string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	appendLabels(b, labels, extraName, extraValue)
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// sortedVecs orders a family's vec entries by their constant-label
+// signature, the same key static series sort on.
+func sortedVecs(f *family) []*vecEntry {
+	out := append([]*vecEntry(nil), f.vecs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+type counterChild struct {
+	label string
+	c     *Counter
+}
+
+func sortedCounterChildren(v *CounterVec) []counterChild {
+	var out []counterChild
+	v.each(func(label string, c *Counter) { out = append(out, counterChild{label, c}) })
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+type histogramChild struct {
+	label string
+	h     *Histogram
+}
+
+func sortedHistogramChildren(v *HistogramVec) []histogramChild {
+	var out []histogramChild
+	v.each(func(label string, h *Histogram) { out = append(out, histogramChild{label, h}) })
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+// SeriesSnapshot is one series' current value for /statusz.
+type SeriesSnapshot struct {
+	Labels    []Label            `json:"labels,omitempty"`
+	Value     float64            `json:"value"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// FamilySnapshot is one metric family's state for /statusz.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot captures every registered metric, in the same deterministic
+// order WritePrometheus uses.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Type: f.typ, Help: f.help}
+		switch {
+		case len(f.vecs) > 0:
+			for _, e := range sortedVecs(f) {
+				if e.cvec != nil {
+					for _, child := range sortedCounterChildren(e.cvec) {
+						fs.Series = append(fs.Series, SeriesSnapshot{
+							Labels: withLabel(e.constants, e.labelName, child.label),
+							Value:  float64(child.c.Value()),
+						})
+					}
+				} else {
+					for _, child := range sortedHistogramChildren(e.hvec) {
+						snap := child.h.Snapshot()
+						fs.Series = append(fs.Series, SeriesSnapshot{
+							Labels:    withLabel(e.constants, e.labelName, child.label),
+							Histogram: &snap,
+						})
+					}
+				}
+			}
+		default:
+			ordered := append([]*series(nil), f.series...)
+			sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
+			for _, s := range ordered {
+				ss := SeriesSnapshot{Labels: s.labels}
+				switch {
+				case s.hist != nil:
+					snap := s.hist.Snapshot()
+					ss.Histogram = &snap
+				case s.counter != nil:
+					ss.Value = float64(s.counter.Value())
+				case s.counterFn != nil:
+					ss.Value = float64(s.counterFn())
+				case s.gauge != nil:
+					ss.Value = s.gauge.Value()
+				case s.gaugeFn != nil:
+					ss.Value = s.gaugeFn()
+				}
+				fs.Series = append(fs.Series, ss)
+			}
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+func withLabel(labels []Label, name, value string) []Label {
+	return append(append([]Label(nil), labels...), Label{Name: name, Value: value})
+}
+
+// WriteSummary prints a compact human-readable digest of the registry:
+// one line per series, zero-valued counters skipped, histograms
+// reduced to count/mean/p99. This is the shutdown report a long-lived
+// server prints in place of a hand-rolled counter dump.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	var b strings.Builder
+	for _, fam := range r.Snapshot() {
+		for _, s := range fam.Series {
+			if s.Histogram != nil {
+				if s.Histogram.Count == 0 {
+					continue
+				}
+				b.WriteString(fam.Name)
+				writeSummaryLabels(&b, s.Labels)
+				fmt.Fprintf(&b, " count=%d mean=%s p99=%s\n",
+					s.Histogram.Count,
+					formatFloat(s.Histogram.Mean()),
+					formatFloat(s.Histogram.Quantile(0.99)))
+				continue
+			}
+			if fam.Type == typeCounter && s.Value == 0 {
+				continue
+			}
+			b.WriteString(fam.Name)
+			writeSummaryLabels(&b, s.Labels)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSummaryLabels(b *strings.Builder, labels []Label) {
+	appendLabels(b, labels, "", "")
+}

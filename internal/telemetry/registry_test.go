@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every exposition corner:
+// all five instrument kinds, constant labels, a labeled family with an
+// overflow child, label-value escaping, non-finite gauge values, and
+// names chosen so sorted output differs from registration order.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+
+	var reqs Counter
+	reqs.Add(42)
+	reg.MustCounter("zz_requests_total", "Requests served.", &reqs,
+		L("endpoint", "v4"), L("path", `quoted"quote`))
+
+	var reqs6 Counter
+	reqs6.Add(7)
+	reg.MustCounter("zz_requests_total", "Requests served.", &reqs6,
+		L("endpoint", "v6"), L("path", "back\\slash\nnewline"))
+
+	var temp Gauge
+	temp.Set(-3.25)
+	reg.MustGauge("aa_temperature", "A negative gauge.", &temp)
+
+	reg.MustGaugeFunc("mm_nan", "Not a number.", func() float64 { return math.NaN() })
+	reg.MustGaugeFunc("mm_posinf", "Positive infinity.", func() float64 { return math.Inf(1) })
+	reg.MustGaugeFunc("mm_neginf", "Negative infinity.", func() float64 { return math.Inf(-1) })
+	reg.MustCounterFunc("mm_fn_total", "Counter read through a func.", func() uint64 { return 9 })
+
+	h := NewHistogram([]float64{0.1, 0.5, 2.5})
+	for _, v := range []float64{0.05, 0.2, 0.2, 1, 100} {
+		h.Observe(v)
+	}
+	reg.MustHistogram("dd_latency_seconds", "A histogram.", h, L("op", "serve"))
+
+	cv := NewCounterVec(2)
+	cv.With("t01").Inc()
+	cv.With("t02").Add(3)
+	cv.With("minted-by-wire").Inc() // over the bound: overflow child
+	reg.MustCounterVec("ff_by_policy_total", "Labeled family.", "policy", cv, L("zone", "test"))
+
+	hv := NewHistogramVec([]float64{1, 10}, 4)
+	hv.With("b").Observe(0.5)
+	hv.With("a").Observe(20)
+	reg.MustHistogramVec("gg_hist_by_kind_seconds", "Labeled histograms.", "kind", hv)
+
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file (run with -update to regenerate)\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := goldenRegistry()
+	var first strings.Builder
+	if err := reg.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again strings.Builder
+		if err := reg.WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if first.String() != again.String() {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, first.String(), again.String())
+		}
+	}
+}
+
+func TestRegistryConflicts(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+
+	var c Counter
+	var g Gauge
+	reg := NewRegistry()
+	reg.MustCounter("x_total", "help", &c)
+
+	mustPanic("type conflict", func() { reg.MustGauge("x_total", "help", &g) })
+	mustPanic("help conflict", func() {
+		var c2 Counter
+		reg.MustCounter("x_total", "different help", &c2)
+	})
+	mustPanic("duplicate labelset", func() {
+		var c2 Counter
+		reg.MustCounter("x_total", "help", &c2)
+	})
+	mustPanic("invalid name", func() { reg.MustCounter("0bad", "help", &c) })
+	mustPanic("invalid name char", func() { reg.MustCounter("bad-name", "help", &c) })
+	mustPanic("reserved label", func() { reg.MustCounter("y_total", "help", &c, L("__name__", "x")) })
+	mustPanic("vec over static", func() {
+		reg.MustCounterVec("x_total", "help", "k", NewCounterVec(4))
+	})
+	mustPanic("static over vec", func() {
+		reg.MustCounterVec("v_total", "help", "k", NewCounterVec(4))
+		var c2 Counter
+		reg.MustCounter("v_total", "help", &c2)
+	})
+
+	// Disjoint labelsets under one name are allowed — that is how two
+	// endpoints share a family.
+	var a, b Counter
+	reg2 := NewRegistry()
+	reg2.MustCounter("ok_total", "help", &a, L("endpoint", "v4"))
+	reg2.MustCounter("ok_total", "help", &b, L("endpoint", "v6"))
+
+	// The same holds for vecs: one component registered several times
+	// under distinct constant labels (sequential experiment worlds).
+	reg3 := NewRegistry()
+	reg3.MustCounterVec("w_total", "help", "k", NewCounterVec(4), L("world", "one"))
+	reg3.MustCounterVec("w_total", "help", "k", NewCounterVec(4), L("world", "two"))
+	mustPanic("duplicate vec labelset", func() {
+		reg3.MustCounterVec("w_total", "help", "k", NewCounterVec(4), L("world", "one"))
+	})
+	mustPanic("conflicting vec family label", func() {
+		reg3.MustCounterVec("w_total", "help", "other", NewCounterVec(4), L("world", "three"))
+	})
+}
+
+func TestSiblingVecsRender(t *testing.T) {
+	reg := NewRegistry()
+	one := NewCounterVec(4)
+	one.With("t01").Add(2)
+	two := NewCounterVec(4)
+	two.With("t01").Inc()
+	reg.MustCounterVec("q_total", "Queries.", "policy", one, L("world", "one"))
+	reg.MustCounterVec("q_total", "Queries.", "policy", two, L("world", "two"))
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `q_total{world="one",policy="t01"} 2`) ||
+		!strings.Contains(out, `q_total{world="two",policy="t01"} 1`) {
+		t.Errorf("sibling vec samples missing:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE q_total") != 1 {
+		t.Errorf("family header duplicated:\n%s", out)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	reg := NewRegistry()
+	var zero, nonzero Counter
+	nonzero.Add(5)
+	reg.MustCounter("quiet_total", "Never incremented.", &zero)
+	reg.MustCounter("busy_total", "Incremented.", &nonzero)
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(2)
+	reg.MustHistogram("lat_seconds", "Latency.", h)
+	empty := NewHistogram([]float64{1})
+	reg.MustHistogram("unused_seconds", "Empty histogram.", empty)
+
+	var b strings.Builder
+	if err := reg.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "quiet_total") {
+		t.Errorf("zero counter rendered in summary:\n%s", out)
+	}
+	if strings.Contains(out, "unused_seconds") {
+		t.Errorf("empty histogram rendered in summary:\n%s", out)
+	}
+	if !strings.Contains(out, "busy_total 5") {
+		t.Errorf("missing busy_total:\n%s", out)
+	}
+	if !strings.Contains(out, "lat_seconds count=1 mean=2") {
+		t.Errorf("missing histogram digest:\n%s", out)
+	}
+}
