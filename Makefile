@@ -11,18 +11,19 @@ GO ?= go
 CHAOS_SEED ?= 42
 
 # Where `make bench` archives its parsed results.
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_8.json
 
 # The baseline `make bench-diff` gates against.
-BENCH_BASELINE ?= BENCH_6.json
+BENCH_BASELINE ?= BENCH_7.json
 
-# The benchmarks that guard the serving hot path's allocation budget
-# and the log codec / analysis ingest throughput.
-HOT_BENCHES = BenchmarkServeHotPath|BenchmarkDNSMessagePackUnpack|BenchmarkSPFParse|BenchmarkQueryLogJSONRoundTrip|BenchmarkLogCodec|BenchmarkParForEachLogJSON
+# The benchmarks that guard the serving hot path's allocation budget,
+# the log codec / analysis ingest throughput, and the WAL append path
+# under each sync policy.
+HOT_BENCHES = BenchmarkServeHotPath|BenchmarkDNSMessagePackUnpack|BenchmarkSPFParse|BenchmarkQueryLogJSONRoundTrip|BenchmarkLogCodec|BenchmarkParForEachLogJSON|BenchmarkWALAppend|BenchmarkWALRecover
 
-.PHONY: check vet build test fuzz-seeds chaos bench bench-smoke bench-diff telemetry-alloc
+.PHONY: check vet build test fuzz-seeds chaos crash bench bench-smoke bench-diff telemetry-alloc
 
-check: vet build test fuzz-seeds telemetry-alloc bench-smoke
+check: vet build test fuzz-seeds telemetry-alloc crash bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +48,17 @@ chaos:
 		-run 'Panic|RateLimit|TCPServer|Retry|AsyncLog|Evict|Shed|LineTooLong|PolicyRejections' \
 		./internal/dns/ ./internal/dnsserver/ ./internal/smtp/ ./internal/resolver/
 
+# The crash-recovery suite: the byte-level kill/recover sweeps over
+# internal/wal (every byte offset of a recorded schedule, bit flips,
+# randomized kill cycles) and the process-level proof that SIGKILLing
+# a real `campaign` run under chaos converges through -resume. Seeded
+# like `make chaos`; reproduce with `make crash CHAOS_SEED=<seed>`.
+crash:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 \
+		-run 'TestCrash|TestRandomizedKillAndReopen|FuzzWALRecover' ./internal/wal/
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -count=1 -timeout 300s \
+		-run 'TestKillResumeConvergence' ./cmd/campaign/
+
 # The instrument allocation pins: metric increments are on the DNS
 # serving hot path, so Counter.Inc / Histogram.Observe / vec lookups
 # must stay at zero allocations (alongside the codec pins that share
@@ -64,7 +76,7 @@ bench-smoke:
 # the raw lines, for benchstat) to $(BENCH_OUT).
 bench:
 	$(GO) test -run NONE -bench '$(HOT_BENCHES)' -benchmem -count 1 \
-		. ./internal/dnsserver/ | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+		. ./internal/dnsserver/ ./internal/wal/ | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
 # Re-measure the pinned benchmarks and fail if any ns/op number
@@ -74,4 +86,4 @@ bench:
 # changes.
 bench-diff:
 	$(GO) test -run NONE -bench '$(HOT_BENCHES)' -benchmem -count 1 \
-		. ./internal/dnsserver/ | $(GO) run ./cmd/benchjson -diff $(BENCH_BASELINE)
+		. ./internal/dnsserver/ ./internal/wal/ | $(GO) run ./cmd/benchjson -diff $(BENCH_BASELINE)

@@ -55,12 +55,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*logPath)
+	// OpenLogStream handles every on-disk shape the collectors produce:
+	// plain JSONL, WAL-framed records, rotated segments, or a mix —
+	// sniffed per segment, presented as one JSONL stream.
+	f, err := dnsserver.OpenLogStream(*logPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
 		os.Exit(1)
 	}
 	defer f.Close()
+	if n := f.Segments(); n > 1 {
+		fmt.Fprintf(os.Stderr, "analyze: reading %d log segments\n", n)
+	}
 
 	// Stream the log rather than slurping it: every analysis below
 	// ignores queries it cannot attribute to an MTA, so only the
@@ -92,6 +98,11 @@ func main() {
 		os.Exit(1)
 	}
 	elapsed := time.Since(ingestStart)
+	if st := f.Stats(); st.Truncated {
+		fmt.Fprintf(os.Stderr,
+			"analyze: WARNING: %d bytes of torn/corrupt WAL tail skipped (%d framed records salvaged) — the log lost entries at a crash\n",
+			st.DroppedBytes, st.Records)
+	}
 	reads := mr.reads.Snapshot()
 	secs := elapsed.Seconds()
 	if secs <= 0 {

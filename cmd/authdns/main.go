@@ -10,7 +10,8 @@
 //	authdns [-addr 127.0.0.1:5300] [-addr6 "[::1]:5300"]
 //	        [-suffix spf-test.dns-lab.example] [-notify dsav-mail.dns-lab.example]
 //	        [-contact research@dns-lab.example] [-timescale 1.0]
-//	        [-metrics-addr 127.0.0.1:9153]
+//	        [-log-file queries.wal] [-log-sync none|interval|always]
+//	        [-log-rotate BYTES] [-metrics-addr 127.0.0.1:9153]
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"sendervalid/internal/dnsserver"
 	"sendervalid/internal/policy"
 	"sendervalid/internal/telemetry"
+	"sendervalid/internal/wal"
 )
 
 func main() {
@@ -56,9 +58,17 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, ready c
 		maxQPS      = fs.Float64("max-qps", 0, "per-source query rate limit (REFUSED above it); 0 disables")
 		burst       = fs.Int("burst", 0, "per-source rate-limit burst (0 = default 8)")
 		logBuffer   = fs.Int("log-buffer", 4096, "query-log buffer depth; full buffers drop (and count) entries instead of blocking the serving path")
+		logFile     = fs.String("log-file", "", "durable query log: append every entry as a checksummed WAL record to this file (JSONL payload, readable by cmd/analyze)")
+		logSync     = fs.String("log-sync", "interval", `-log-file fsync policy: "none", "interval" (group commit), or "always"`)
+		logRotate   = fs.Int64("log-rotate", 256<<20, "-log-file rotation threshold in bytes (0 = never rotate)")
 		metricsAddr = fs.String("metrics-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof; empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	syncPolicy, err := wal.ParseSyncPolicy(*logSync)
+	if err != nil {
+		fmt.Fprintf(stderr, "authdns: %v\n", err)
 		return 2
 	}
 
@@ -71,7 +81,28 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, ready c
 		TimeScale: *timeScale,
 	}
 	log := &dnsserver.QueryLog{}
-	asyncLog := dnsserver.NewAsyncLog(log, *logBuffer)
+	// The serving path appends to the in-memory log (status printer,
+	// end-of-run analyses) and, with -log-file, to a checksummed WAL on
+	// disk — both behind the async buffer so neither blocks serving.
+	var sink dnsserver.Sink = log
+	var walSink *dnsserver.WALSink
+	if *logFile != "" {
+		walSink, err = dnsserver.NewWALSink(*logFile, wal.Options{
+			Sync:        syncPolicy,
+			RotateBytes: *logRotate,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "authdns: %v\n", err)
+			return 1
+		}
+		if rec := walSink.Recovered(); rec.Truncated {
+			fmt.Fprintf(stderr,
+				"authdns: query log %s had a torn tail; %d records salvaged, %d bytes truncated\n",
+				*logFile, rec.Records, rec.DroppedBytes)
+		}
+		sink = dnsserver.MultiSink{log, walSink}
+	}
+	asyncLog := dnsserver.NewAsyncLog(sink, *logBuffer)
 	srv := &dnsserver.Server{
 		Addr4:           *addr,
 		Addr6:           *addr6,
@@ -121,6 +152,12 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, ready c
 		}
 		return nil
 	})
+	if walSink != nil {
+		walSink.RegisterMetrics(reg, telemetry.L("name", "querylog"))
+		// A wedged on-disk log flips /healthz: the collection is no
+		// longer durable even though serving continues.
+		health.Register("querylog-wal", walSink.Check)
+	}
 
 	var admin *telemetry.AdminServer
 	if *metricsAddr != "" {
@@ -132,6 +169,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, ready c
 			defer cancel()
 			_ = srv.Shutdown(shutdownCtx)
 			asyncLog.Close()
+			if walSink != nil {
+				_ = walSink.Close()
+			}
 			return 1
 		}
 		fmt.Fprintf(stdout, "authdns: admin plane on http://%s/metrics\n", adminAddr)
@@ -172,6 +212,11 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, ready c
 				fmt.Fprintf(stderr, "authdns: shutdown: %v\n", err)
 			}
 			asyncLog.Close()
+			if walSink != nil {
+				if err := walSink.Close(); err != nil {
+					fmt.Fprintf(stderr, "authdns: closing query log: %v\n", err)
+				}
+			}
 			if admin != nil {
 				_ = admin.Shutdown(shutdownCtx)
 			}

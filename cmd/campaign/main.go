@@ -8,8 +8,10 @@
 //
 //	campaign [-domains 2000] [-seed 1] [-tests core|all|t01,t02,...]
 //	         [-workers 64] [-rate 2] [-burst 1] [-attempts 4]
-//	         [-journal camp.jsonl] [-resume] [-interval 2s]
+//	         [-journal camp.wal] [-journal-sync none|interval|always]
+//	         [-journal-rotate BYTES] [-resume] [-interval 2s]
 //	         [-population notify|twoweek] [-timescale 0.001]
+//	         [-chaos-seed N] [-chaos-dial-failure 0.25]
 //
 // The world is a deterministic function of -domains/-seed/-population,
 // so a resumed invocation with the same parameters probes the same
@@ -34,7 +36,9 @@ import (
 	"sendervalid/internal/campaign"
 	"sendervalid/internal/dataset"
 	"sendervalid/internal/experiment"
+	"sendervalid/internal/netsim"
 	"sendervalid/internal/telemetry"
+	"sendervalid/internal/wal"
 )
 
 func main() {
@@ -46,8 +50,12 @@ func main() {
 		rate        = flag.Float64("rate", 2, "probes/second budget per MTA (0 = unlimited)")
 		burst       = flag.Int("burst", 1, "per-MTA token bucket depth")
 		attempts    = flag.Int("attempts", 4, "attempt budget per (MTA, test) pair")
-		journal     = flag.String("journal", "", "append-only JSONL journal of task transitions")
-		resume      = flag.Bool("resume", false, "replay the journal and re-run only unfinished pairs")
+		journal      = flag.String("journal", "", "append-only journal of task transitions (checksummed WAL; legacy JSONL journals are detected and continued)")
+		journalSync  = flag.String("journal-sync", "none", `journal fsync policy: "none" (kernel-buffered), "interval" (group commit), "always" (fsync per event)`)
+		journalRotat = flag.Int64("journal-rotate", 0, "rotate the journal when the live segment exceeds this many bytes (0 = never)")
+		resume       = flag.Bool("resume", false, "replay the journal and re-run only unfinished pairs")
+		chaosSeed    = flag.Int64("chaos-seed", 0, "inject seeded network chaos into the simulated fabric (0 disables)")
+		chaosDial    = flag.Float64("chaos-dial-failure", 0.25, "dial-failure probability under -chaos-seed")
 		interval    = flag.Duration("interval", 2*time.Second, "progress snapshot period (0 disables)")
 		population  = flag.String("population", "notify", `population flavour: "notify" or "twoweek"`)
 		timeScale   = flag.Float64("timescale", 0.001, "protocol delay multiplier (1.0 = paper timing)")
@@ -88,6 +96,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	syncPolicy, err := wal.ParseSyncPolicy(*journalSync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(2)
+	}
+
 	fmt.Printf("== building world: %d domains, seed %d, %q rates ==\n", *domains, *seed, *population)
 	pop := dataset.Generate(spec)
 	world, err := experiment.BuildWorld(pop, experiment.WorldConfig{
@@ -96,19 +110,41 @@ func main() {
 	exitOn(err)
 	defer world.Close()
 
+	if *chaosSeed != 0 {
+		world.Fabric.SetChaosSeed(*chaosSeed)
+		world.Fabric.SetDefaultFaults(&netsim.FaultProfile{
+			DialFailure: *chaosDial,
+			MaxChunk:    512,
+		})
+		fmt.Printf("campaign: chaos enabled (seed %d, dial failure %.2f)\n", *chaosSeed, *chaosDial)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
+	}
 	opts := experiment.ProbeCampaignOpts{
 		Workers:     *workers,
 		MTARate:     *rate,
 		MTABurst:    *burst,
 		MaxAttempts: *attempts,
+		Logf:        logf,
 	}
+	var jnl campaign.Journal
 	if *journal != "" {
 		var replay *campaign.Replay
-		var jf *os.File
-		replay, jf, err = campaign.Resume(*journal)
+		replay, jnl, err = campaign.OpenJournal(*journal, campaign.JournalOptions{
+			Sync:        syncPolicy,
+			RotateBytes: *journalRotat,
+			Logf:        logf,
+		})
 		exitOn(err)
-		defer jf.Close()
-		opts.Journal = jf
+		defer jnl.Close()
+		opts.Journal = jnl
+		if replay.TornTail {
+			fmt.Fprintf(os.Stderr,
+				"campaign: journal %s had a torn tail (%d bytes dropped, %d malformed lines); valid prefix salvaged\n",
+				*journal, replay.DroppedBytes, replay.Malformed)
+		}
 		if *resume {
 			opts.Replay = replay
 			fmt.Printf("journal %s: %d events, %d done, %d failed — resuming unfinished work\n",
@@ -129,6 +165,10 @@ func main() {
 		telemetry.RegisterRuntimeMetrics(reg)
 		health := telemetry.NewHealth()
 		health.Register("campaign", func() error { return nil })
+		if jnl != nil {
+			jnl.RegisterMetrics(reg, telemetry.L("name", "journal"))
+			health.Register("journal", jnl.Check)
+		}
 		admin := &telemetry.AdminServer{Addr: *metricsAddr, Registry: reg, Health: health}
 		adminAddr, err := admin.Start()
 		exitOn(err)
@@ -178,7 +218,15 @@ func main() {
 
 	s := pc.Snapshot()
 	fmt.Println(s)
+	if jerr := pc.JournalError(); jerr != nil {
+		fmt.Fprintf(os.Stderr,
+			"campaign: journal failed mid-run (%d events dropped): %v — the durable record is incomplete\n",
+			s.JournalDropped, jerr)
+	}
 	if runErr != nil {
+		if jnl != nil {
+			_ = jnl.Sync()
+		}
 		fmt.Printf("campaign interrupted (%v): %d of %d pairs finished", runErr, s.Completed(), total)
 		if *journal != "" {
 			fmt.Printf("; rerun with -resume to continue")

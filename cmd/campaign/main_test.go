@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	mrand "math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"sendervalid/internal/campaign"
+	"sendervalid/internal/wal"
+)
+
+// The process-level half of the crash harness re-executes this test
+// binary as the campaign command itself (the helper-process pattern),
+// so a real process is SIGKILLed mid-run — torn journal tails, lost
+// in-flight probes, dead flusher goroutines and all — without needing
+// a separate `go build` step.
+func TestMain(m *testing.M) {
+	if os.Getenv("CAMPAIGN_CRASH_CHILD") == "1" {
+		// Everything after "--" is the campaign's own command line.
+		for i, a := range os.Args {
+			if a == "--" {
+				os.Args = append([]string{"campaign"}, os.Args[i+1:]...)
+				break
+			}
+		}
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// chaosSeed returns the seed for the kill schedule and injected
+// faults, overridable via CHAOS_SEED (the same knob as `make chaos`),
+// and always logs it so a failure is reproducible.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := int64(42)
+	if env := os.Getenv("CHAOS_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", env, err)
+		}
+		seed = v
+	}
+	t.Logf("CHAOS_SEED=%d (override with the env var to reproduce)", seed)
+	return seed
+}
+
+// child starts this binary as a campaign process with the given args.
+func child(t *testing.T, args []string) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"--"}, args...)...)
+	cmd.Env = append(os.Environ(), "CAMPAIGN_CRASH_CHILD=1")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting child: %v", err)
+	}
+	return cmd, &out
+}
+
+// runToCompletion runs a child and fails the test if it exits nonzero.
+func runToCompletion(t *testing.T, args []string) string {
+	t.Helper()
+	cmd, out := child(t, args)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("child failed: %v\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+// fileSize returns the journal's current size (0 if absent).
+func fileSize(path string) int64 {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// killWhenGrown SIGKILLs the child once the journal has grown past
+// target bytes. It returns true if the kill landed, false if the child
+// completed first.
+func killWhenGrown(t *testing.T, cmd *exec.Cmd, out *bytes.Buffer, path string, target int64) bool {
+	t.Helper()
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	deadline := time.After(60 * time.Second)
+	tick := time.NewTicker(3 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case err := <-exited:
+			if err != nil {
+				t.Fatalf("child exited with error before kill: %v\n%s", err, out.String())
+			}
+			return false
+		case <-deadline:
+			_ = cmd.Process.Kill()
+			<-exited
+			t.Fatalf("child made no progress (journal at %d bytes, wanted %d)\n%s",
+				fileSize(path), target, out.String())
+		case <-tick.C:
+			if fileSize(path) >= target {
+				if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup, no final sync
+					t.Fatalf("kill: %v", err)
+				}
+				<-exited
+				return true
+			}
+		}
+	}
+}
+
+// journalEvent mirrors the journal's line schema for raw event-level
+// accounting (the campaign package's replayer deduplicates per key,
+// which would hide a double completion).
+type journalEvent struct {
+	Ev  string       `json:"ev"`
+	Key campaign.Key `json:"k"`
+}
+
+// readJournalRaw streams every segment of the WAL journal and returns
+// the replay plus a per-key count of final (done/failed) events.
+func readJournalRaw(t *testing.T, path string) (*campaign.Replay, map[campaign.Key]int) {
+	t.Helper()
+	segs, err := wal.Segments(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all bytes.Buffer
+	for _, seg := range segs {
+		f, err := os.Open(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(&all, wal.NewReader(f)); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	finals := make(map[campaign.Key]int)
+	for _, line := range bytes.Split(all.Bytes(), []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("unparseable journal line %q: %v", line, err)
+		}
+		if e.Ev == "done" || e.Ev == "failed" {
+			finals[e.Key]++
+		}
+	}
+	replay, err := campaign.ReadJournal(bytes.NewReader(all.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return replay, finals
+}
+
+// TestKillResumeConvergence is the acceptance proof for the WAL
+// journal: SIGKILL a real campaign process mid-run — repeatedly, under
+// seeded network chaos — then resume, and the final durable state must
+// match an uninterrupted run's: every (MTA, test) pair reaches exactly
+// one final state, none lost, none run twice to completion.
+func TestKillResumeConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level crash harness; skipped in -short")
+	}
+	seed := chaosSeed(t)
+	dir := t.TempDir()
+	common := []string{
+		"-domains", "30", "-tests", "t01,t03",
+		"-rate", "0", "-interval", "0",
+		// Attempt budget deep enough that a 0.25 dial-failure rate
+		// cannot realistically exhaust it: every pair ends done, which
+		// makes the reference and killed runs' snapshots comparable.
+		"-attempts", "12",
+		"-chaos-seed", strconv.FormatInt(seed, 10),
+		"-chaos-dial-failure", "0.25",
+	}
+
+	// Uninterrupted reference run.
+	ref := filepath.Join(dir, "ref.wal")
+	runToCompletion(t, append(append([]string{}, common...), "-journal", ref))
+	refReplay, refFinals := readJournalRaw(t, ref)
+	total := len(refReplay.Final)
+	if total == 0 {
+		t.Fatal("reference run recorded no finished pairs")
+	}
+	if refReplay.Failed() != 0 {
+		t.Fatalf("reference run had %d failed pairs; the convergence comparison needs a fully-succeeding schedule", refReplay.Failed())
+	}
+	for k, n := range refFinals {
+		if n != 1 {
+			t.Fatalf("reference run finished %v %d times", k, n)
+		}
+	}
+
+	// Kill/resume rounds against one journal. The seeded RNG picks how
+	// far past the previous round's high-water mark each kill lands, so
+	// the schedule covers both the enqueue burst and the probing phase.
+	rng := mrand.New(mrand.NewSource(seed))
+	jp := filepath.Join(dir, "kill.wal")
+	kills := 0
+	for round := 0; round < 5; round++ {
+		args := append(append([]string{}, common...), "-journal", jp)
+		if round > 0 {
+			args = append(args, "-resume")
+		}
+		target := fileSize(jp) + 1000 + rng.Int63n(12000)
+		cmd, out := child(t, args)
+		if !killWhenGrown(t, cmd, out, jp, target) {
+			break // completed before the kill could land
+		}
+		kills++
+	}
+	if kills == 0 {
+		t.Fatal("no kill ever landed; the harness is not exercising crashes")
+	}
+	t.Logf("killed the campaign %d times", kills)
+
+	// Final resume must drive the journal to convergence.
+	out := runToCompletion(t, append(append([]string{}, common...), "-journal", jp, "-resume"))
+	t.Logf("final resume output:\n%s", out)
+
+	replay, finals := readJournalRaw(t, jp)
+	if got := len(replay.Final); got != total {
+		t.Fatalf("converged journal records %d finished pairs, reference %d", got, total)
+	}
+	for k := range refReplay.Final {
+		n, ok := finals[k]
+		if !ok {
+			t.Errorf("pair %v lost: finished in reference, never in killed run", k)
+			continue
+		}
+		if n != 1 {
+			t.Errorf("pair %v completed %d times (duplicated completion)", k, n)
+		}
+	}
+	if replay.Done() != refReplay.Done() || replay.Failed() != refReplay.Failed() {
+		t.Fatalf("final snapshot diverges: done %d failed %d, reference done %d failed %d",
+			replay.Done(), replay.Failed(), refReplay.Done(), refReplay.Failed())
+	}
+	// The resumed processes must have recovered, not resynced: a WAL
+	// journal never contains a malformed payload line.
+	if replay.Malformed != 0 {
+		t.Fatalf("converged journal contains %d malformed lines", replay.Malformed)
+	}
+}
+
+// TestChildUsageError keeps the helper-process plumbing honest: a bad
+// flag must surface as a nonzero exit, proving the child really runs
+// the campaign main and its exit codes propagate.
+func TestChildUsageError(t *testing.T) {
+	cmd, out := child(t, []string{"-definitely-not-a-flag"})
+	err := cmd.Wait()
+	if err == nil {
+		t.Fatalf("child accepted a bogus flag\n%s", out.String())
+	}
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() == 0 {
+		t.Fatalf("unexpected child failure mode: %v", err)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"sendervalid/internal/mtasim"
 	"sendervalid/internal/policy"
 	"sendervalid/internal/telemetry"
+	"sendervalid/internal/wal"
 )
 
 func main() {
@@ -45,12 +46,18 @@ func main() {
 		paperScale  = flag.Bool("paper-scale", false, "use the paper's full dataset sizes")
 		logOut      = flag.String("log-out", "", "write the TwoWeekMX query log (JSON lines) for offline analysis with cmd/analyze")
 		journal     = flag.String("journal", "", "journal path prefix for the probe experiments (PREFIX.notifymx.jsonl, PREFIX.twoweekmx.jsonl)")
+		journalSync = flag.String("journal-sync", "none", `journal fsync policy: "none", "interval", or "always"`)
 		resume      = flag.Bool("resume", false, "skip (MTA, test) pairs the journals already record as finished (requires -journal)")
 		metricsAddr = flag.String("metrics-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof; empty disables")
 	)
 	flag.Parse()
 	if *resume && *journal == "" {
 		fmt.Fprintln(os.Stderr, "experiment: -resume requires -journal")
+		os.Exit(2)
+	}
+	syncPolicy, err := wal.ParseSyncPolicy(*journalSync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -136,7 +143,7 @@ func main() {
 	})
 	exitOn(err)
 	phaseMetrics(nmxWorld, "notifymx")
-	nmxRun := runProbes(ctx, nmxWorld, tests, *workers, *journal, "notifymx", *resume)
+	nmxRun := runProbes(ctx, nmxWorld, tests, *workers, *journal, "notifymx", *resume, syncPolicy)
 	nmxAnalysis := experiment.AnalyzeProbes(nmxWorld, nmxRun, false)
 	nmxAnalysis.Name = "NotifyMX"
 	fmt.Printf("spam-rejecting MTAs: %d; blacklist-rejecting: %d\n",
@@ -151,7 +158,7 @@ func main() {
 	})
 	exitOn(err)
 	phaseMetrics(twWorld, "twoweekmx")
-	twRun := runProbes(ctx, twWorld, tests, *workers, *journal, "twoweekmx", *resume)
+	twRun := runProbes(ctx, twWorld, tests, *workers, *journal, "twoweekmx", *resume, syncPolicy)
 	twAnalysis := experiment.AnalyzeProbes(twWorld, twRun, true)
 
 	fmt.Print(experiment.RenderTable5(
@@ -180,15 +187,24 @@ func main() {
 // runProbes executes one probe experiment, journaled when -journal is
 // set. With -resume, pairs the journal records as finished are skipped
 // (the replayed count is reported); without it, a non-empty journal is
-// an error so two fresh runs never interleave in one record.
-func runProbes(ctx context.Context, w *experiment.World, tests []string, workers int, prefix, name string, resume bool) *experiment.ProbeRun {
+// an error so two fresh runs never interleave in one record. New
+// journals are checksummed WALs under the -journal-sync policy; legacy
+// plain-JSONL journals are detected and continued in kind.
+func runProbes(ctx context.Context, w *experiment.World, tests []string, workers int, prefix, name string, resume bool, sync wal.SyncPolicy) *experiment.ProbeRun {
 	if prefix == "" {
 		return experiment.RunProbes(ctx, w, tests, workers)
 	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "experiment: "+format+"\n", args...)
+	}
 	path := prefix + "." + name + ".jsonl"
-	replay, jf, err := campaign.Resume(path)
+	replay, jnl, err := campaign.OpenJournal(path, campaign.JournalOptions{Sync: sync, Logf: logf})
 	exitOn(err)
-	opts := experiment.ProbeCampaignOpts{Workers: workers, Journal: jf}
+	if replay.TornTail {
+		fmt.Fprintf(os.Stderr, "experiment: journal %s had a torn tail; valid prefix salvaged (%d bytes dropped)\n",
+			path, replay.DroppedBytes)
+	}
+	opts := experiment.ProbeCampaignOpts{Workers: workers, Journal: jnl, Logf: logf}
 	if resume {
 		opts.Replay = replay
 		if n := len(replay.Final); n > 0 {
@@ -198,9 +214,13 @@ func runProbes(ctx context.Context, w *experiment.World, tests []string, workers
 		fmt.Fprintf(os.Stderr, "experiment: journal %s already has %d events; pass -resume to continue it\n", path, replay.Events)
 		os.Exit(2)
 	}
-	run, err := experiment.NewProbeCampaign(w, tests, opts).Run(ctx)
+	pc := experiment.NewProbeCampaign(w, tests, opts)
+	run, err := pc.Run(ctx)
 	exitOn(err)
-	exitOn(jf.Close())
+	if jerr := pc.JournalError(); jerr != nil {
+		fmt.Fprintf(os.Stderr, "experiment: journal %s failed mid-run: %v — the durable record is incomplete\n", path, jerr)
+	}
+	exitOn(jnl.Close())
 	return run
 }
 

@@ -87,8 +87,13 @@ type Config struct {
 	Classify func(error) Class
 	// Journal, when set, receives the append-only JSONL record of
 	// task state transitions. Each event is written as one line as it
-	// happens, so a crash loses at most the event in flight.
+	// happens, so a crash loses at most the event in flight. Use the
+	// Journal returned by OpenJournal for a checksummed, crash-
+	// recoverable record.
 	Journal io.Writer
+	// Logf, when set, receives the campaign's rare operational
+	// warnings (currently: the one-time journal-failure notice).
+	Logf func(format string, args ...any)
 }
 
 func (cfg *Config) fillDefaults() {
@@ -163,7 +168,7 @@ func New(cfg Config, run TaskFunc) *Campaign {
 		run:     run,
 		shards:  make(map[string]*shard),
 		tasks:   make(map[Key]*taskState),
-		journal: newJournalWriter(cfg.Journal),
+		journal: newJournalWriter(cfg.Journal, cfg.Logf),
 		rng:     mrand.New(mrand.NewSource(cfg.Seed ^ 0x636d70)),
 		wake:    make(chan struct{}, 1),
 	}
@@ -389,6 +394,15 @@ func (c *Campaign) backoff(attempt int) time.Duration {
 	}
 	half := d / 2
 	return half + time.Duration(c.rng.Int63n(int64(half)+1))
+}
+
+// JournalError returns the first journal write failure, nil while the
+// durable record is healthy. Once non-nil, the campaign has kept
+// running but its journal stopped growing at that point — a resume
+// from it would re-run everything recorded only after the failure.
+func (c *Campaign) JournalError() error {
+	err, _ := c.journal.status()
+	return err
 }
 
 // wakeup nudges the dispatcher after an attempt completes.

@@ -357,7 +357,7 @@ func TestAddIsIdempotentPerKey(t *testing.T) {
 
 func TestJournalTornTailLine(t *testing.T) {
 	var buf bytes.Buffer
-	j := newJournalWriter(&buf)
+	j := newJournalWriter(&buf, nil)
 	j.event(event{Ev: evEnqueue, Key: Key{"m0", "t1"}})
 	j.event(event{Ev: evAttempt, Key: Key{"m0", "t1"}, N: 1})
 	j.event(event{Ev: evDone, Key: Key{"m0", "t1"}, N: 1})
@@ -390,7 +390,7 @@ func TestResumeTerminatesTornTail(t *testing.T) {
 	// second resume cannot replay the journal.
 	path := filepath.Join(t.TempDir(), "camp.jsonl")
 	var buf bytes.Buffer
-	j := newJournalWriter(&buf)
+	j := newJournalWriter(&buf, nil)
 	j.event(event{Ev: evEnqueue, Key: Key{"m0", "t1"}})
 	j.event(event{Ev: evAttempt, Key: Key{"m0", "t1"}, N: 1})
 	j.event(event{Ev: evDone, Key: Key{"m0", "t1"}, N: 1})
@@ -407,7 +407,7 @@ func TestResumeTerminatesTornTail(t *testing.T) {
 	if rp.Final[Key{"m0", "t1"}] != StateDone {
 		t.Fatalf("finished task lost: %+v", rp.Final)
 	}
-	j2 := newJournalWriter(jf)
+	j2 := newJournalWriter(jf, nil)
 	j2.event(event{Ev: evAttempt, Key: Key{"m1", "t1"}, N: 1})
 	// Second crash: close without finishing m1/t1.
 	if err := jf.Close(); err != nil {

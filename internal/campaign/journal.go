@@ -47,32 +47,62 @@ type journalWriter struct {
 	w   io.Writer
 	buf []byte
 
+	// err is the first write failure; once set, writing stops (a dead
+	// disk should not be hammered per event) and every further event
+	// is counted in drops. The failure is surfaced — via Snapshot,
+	// JournalError, and the campaign metrics — instead of silently
+	// disabling durability.
+	err   error
+	drops int
+	logf  func(format string, args ...any)
+
 	// writeSeconds times each sink Write — the durability tax per
 	// event, fsync included when the sink syncs per write.
 	writeSeconds *telemetry.Histogram
 }
 
-func newJournalWriter(w io.Writer) *journalWriter {
-	return &journalWriter{w: w, writeSeconds: telemetry.NewHistogram(telemetry.LatencyBuckets)}
+func newJournalWriter(w io.Writer, logf func(string, ...any)) *journalWriter {
+	return &journalWriter{w: w, logf: logf, writeSeconds: telemetry.NewHistogram(telemetry.LatencyBuckets)}
 }
 
 // event appends one line through the reflection-free encoder, reusing
-// one buffer across events. Write errors are swallowed after the
-// first: losing the journal must not take the campaign down with it.
+// one buffer across events. A write failure must not take the campaign
+// down with it — the measurement continues — but it is never silent:
+// the first error sticks, is logged once, and subsequent events are
+// counted as dropped.
 func (j *journalWriter) event(e event) {
 	if j == nil || j.w == nil {
 		return
 	}
 	e.Time = time.Now()
 	j.mu.Lock()
+	if j.err != nil {
+		j.drops++
+		j.mu.Unlock()
+		return
+	}
 	j.buf = appendEventJSON(j.buf[:0], &e)
 	start := time.Now()
 	_, err := j.w.Write(j.buf)
 	j.writeSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
-		j.w = nil
+		j.err = err
+		j.drops++
+		if j.logf != nil {
+			j.logf("campaign: journal write failed, further events will be dropped: %v", err)
+		}
 	}
 	j.mu.Unlock()
+}
+
+// status reports the sticky failure and how many events it has cost.
+func (j *journalWriter) status() (error, int) {
+	if j == nil {
+		return nil, 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err, j.drops
 }
 
 // Replay is the durable state recovered from a journal.
@@ -91,6 +121,14 @@ type Replay struct {
 	// writes from crashes (one can remain mid-file after each
 	// crash-and-resume cycle).
 	Malformed int
+	// TornTail reports that the journal ended in a truncated fragment
+	// (a crash artifact); the valid prefix above was salvaged and the
+	// fragment was repaired (newline-terminated for a legacy JSONL
+	// journal, truncated away for a WAL journal).
+	TornTail bool
+	// DroppedBytes is the size of the torn/corrupt tail a WAL-format
+	// journal truncated during recovery (zero for legacy journals).
+	DroppedBytes int64
 }
 
 // Done and Failed count tasks per final state.
@@ -131,32 +169,51 @@ func ReadJournal(r io.Reader) (*Replay, error) {
 		Seen:     make(map[Key]bool),
 		Attempts: make(map[Key]int),
 	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var p eventParser
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	// ReadSlice with a spill buffer instead of bufio.Scanner: a
+	// Scanner's token limit turns one oversized garbage line (a torn
+	// write landing mid-buffer, a corrupted length run) into a failed
+	// resume, where it should just be one more Malformed line.
+	br := bufio.NewReaderSize(r, 64*1024)
+	var spill []byte
+	for {
+		line, rerr := br.ReadSlice('\n')
+		if rerr == bufio.ErrBufferFull {
+			spill = append(spill[:0], line...)
+			for rerr == bufio.ErrBufferFull {
+				line, rerr = br.ReadSlice('\n')
+				spill = append(spill, line...)
+			}
+			line = spill
 		}
-		e, err := p.parse(line)
-		if err != nil {
-			rp.Malformed++
-			continue
+		if rerr != nil && rerr != io.EOF {
+			return nil, fmt.Errorf("campaign: reading journal: %w", rerr)
 		}
-		rp.Events++
-		rp.Seen[e.Key] = true
-		switch e.Ev {
-		case evAttempt:
-			rp.Attempts[e.Key] = e.N
-		case evDone:
-			rp.Final[e.Key] = StateDone
-		case evFailed:
-			rp.Final[e.Key] = StateFailed
+		// Trim the delimiter (and a CR, for tooling that rewrote the
+		// file); the final line may legitimately lack the newline.
+		for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+			line = line[:len(line)-1]
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("campaign: reading journal: %w", err)
+		if len(line) > 0 {
+			e, err := p.parse(line)
+			if err != nil {
+				rp.Malformed++
+			} else {
+				rp.Events++
+				rp.Seen[e.Key] = true
+				switch e.Ev {
+				case evAttempt:
+					rp.Attempts[e.Key] = e.N
+				case evDone:
+					rp.Final[e.Key] = StateDone
+				case evFailed:
+					rp.Final[e.Key] = StateFailed
+				}
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
 	}
 	if rp.Events == 0 && rp.Malformed > 0 {
 		return nil, fmt.Errorf("campaign: no valid events in %d lines: not a journal", rp.Malformed)
@@ -174,6 +231,10 @@ func ReadJournal(r io.Reader) (*Replay, error) {
 //
 // A missing file is not an error: the replay is empty and the journal
 // is created, so first runs and resumed runs share one code path.
+//
+// Resume always speaks the legacy plain-JSONL journal format. New code
+// should prefer OpenJournal, which recovers checksummed WAL journals
+// (and still reads legacy ones).
 func Resume(path string) (*Replay, *os.File, error) {
 	var replay *Replay
 	tornTail := false
@@ -211,6 +272,7 @@ func Resume(path string) (*Replay, *os.File, error) {
 		return nil, nil, fmt.Errorf("campaign: appending journal: %w", err)
 	}
 	if tornTail {
+		replay.TornTail = true
 		if _, err := jf.Write([]byte{'\n'}); err != nil {
 			jf.Close()
 			return nil, nil, fmt.Errorf("campaign: terminating torn journal line: %w", err)

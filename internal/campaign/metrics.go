@@ -31,7 +31,10 @@ func (c *Campaign) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.
 		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(c.inflight) }, labels...)
 	if h := c.journal.writeSeconds; h != nil {
 		reg.MustHistogram("campaign_journal_write_seconds",
-			"Latency of appending one event line to the journal sink (fsync included when the sink is an *os.File opened for durability).",
+			"Latency of appending one event line to the journal sink (fsync included when the sink syncs per write).",
 			h, labels...)
 	}
+	reg.MustCounterFunc("campaign_journal_dropped_total",
+		"Journal events dropped after the first write failure (nonzero means the durable record is incomplete).",
+		func() uint64 { _, drops := c.journal.status(); return uint64(drops) }, labels...)
 }

@@ -28,17 +28,29 @@ type Snapshot struct {
 	Elapsed time.Duration
 	// Rate is completed tasks (done + failed) per second of Elapsed.
 	Rate float64
+	// JournalErr is the first journal write failure ("" while the
+	// durable record is healthy) and JournalDropped counts the events
+	// lost after it — the campaign keeps running, but a resume from
+	// this journal would re-run everything after the failure point.
+	JournalErr     string
+	JournalDropped int
 }
 
 // Completed counts tasks in a final state.
 func (s Snapshot) Completed() int { return s.Done + s.Failed }
 
-// String renders a one-line progress report.
+// String renders a one-line progress report. A failed journal is
+// appended so the operator watching the progress ticker cannot miss
+// that durability stopped.
 func (s Snapshot) String() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"[%7.1fs] queued %d (retry-wait %d) inflight %d done %d failed %d retried %d attempts %d rate %.1f/s",
 		s.Elapsed.Seconds(), s.Queued, s.WaitingRetry, s.Inflight,
 		s.Done, s.Failed, s.Retried, s.Attempts, s.Rate)
+	if s.JournalErr != "" {
+		line += fmt.Sprintf(" JOURNAL-FAILED (%d events dropped: %s)", s.JournalDropped, s.JournalErr)
+	}
+	return line
 }
 
 // Snapshot captures the campaign's live counters. Safe to call from
@@ -58,6 +70,10 @@ func (c *Campaign) Snapshot() Snapshot {
 	s.Queued = c.total - c.done - c.failed - c.inflight
 	for _, sh := range c.shards {
 		s.WaitingRetry += sh.waitingRetry(now)
+	}
+	if jerr, drops := c.journal.status(); jerr != nil {
+		s.JournalErr = jerr.Error()
+		s.JournalDropped = drops
 	}
 	if !c.started.IsZero() {
 		s.Elapsed = now.Sub(c.started)

@@ -1,0 +1,327 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"sendervalid/internal/wal"
+)
+
+// runJournaled runs a small campaign against the given journal sink
+// and returns the final snapshot.
+func runJournaled(t *testing.T, j Journal, mtas, tests int) Snapshot {
+	t.Helper()
+	c := New(Config{Workers: 4, Journal: j}, func(ctx context.Context, task Task) error {
+		return nil
+	})
+	c.Add(tasksFor(mtas, tests)...)
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return c.Snapshot()
+}
+
+func TestOpenJournalFreshIsWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.wal")
+	replay, j, err := OpenJournal(path, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Events != 0 || len(replay.Final) != 0 {
+		t.Fatalf("fresh journal replay not empty: %+v", replay)
+	}
+	runJournaled(t, j, 3, 2)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The file must be framed, not plain JSONL.
+	head := make([]byte, 1)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(head); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if !wal.IsFramed(head) {
+		t.Fatalf("fresh journal first byte %#x, want WAL marker", head[0])
+	}
+
+	// Reopening replays every event and reports a healthy tail.
+	replay2, j2, err := OpenJournal(path, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if replay2.Done() != 6 {
+		t.Fatalf("replay done = %d, want 6", replay2.Done())
+	}
+	if replay2.TornTail || replay2.DroppedBytes != 0 || replay2.Malformed != 0 {
+		t.Fatalf("clean journal reported damage: %+v", replay2)
+	}
+	if len(replay2.Unfinished(tasksFor(3, 2))) != 0 {
+		t.Fatal("clean replay left unfinished tasks")
+	}
+}
+
+func TestOpenJournalWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.wal")
+	_, j, err := OpenJournal(path, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runJournaled(t, j, 4, 2)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last frame: drop the final 3 bytes, mid-payload.
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, img[:len(img)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	replay, j2, err := OpenJournal(path, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !replay.TornTail {
+		t.Fatal("torn WAL tail not reported")
+	}
+	if replay.DroppedBytes == 0 {
+		t.Fatal("torn WAL tail reported zero dropped bytes")
+	}
+	// The torn record was exactly one event; everything before it
+	// replays. 4 MTAs x 2 tests = 8 done events plus enqueue/attempt
+	// lines; losing the last means at most one task loses its final
+	// state.
+	if got := replay.Done(); got < 7 || got > 8 {
+		t.Fatalf("salvaged %d done tasks, want 7 or 8", got)
+	}
+	if replay.Malformed != 0 {
+		t.Fatalf("WAL replay saw %d malformed lines, want 0 (tears are truncated, not parsed)", replay.Malformed)
+	}
+	// Recovery left the file append-ready: the journal keeps working.
+	if _, err := j2.Write([]byte(`{"t":"2026-01-01T00:00:00Z","ev":"enqueue","k":{"mta":"x","test":"y"}}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenJournalLegacySniff(t *testing.T) {
+	// A pre-WAL journal: plain JSONL written by Resume-era code.
+	path := filepath.Join(t.TempDir(), "camp.jsonl")
+	var buf bytes.Buffer
+	jw := newJournalWriter(&buf, nil)
+	jw.event(event{Ev: evEnqueue, Key: Key{"m0", "t1"}})
+	jw.event(event{Ev: evAttempt, Key: Key{"m0", "t1"}, N: 1})
+	jw.event(event{Ev: evDone, Key: Key{"m0", "t1"}, N: 1})
+	jw.event(event{Ev: evEnqueue, Key: Key{"m1", "t1"}})
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	replay, j, err := OpenJournal(path, JournalOptions{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Done() != 1 || !replay.Seen[Key{"m1", "t1"}] {
+		t.Fatalf("legacy replay wrong: %+v", replay)
+	}
+	// Appending must stay plain JSONL — never mix formats mid-file.
+	jw2 := newJournalWriter(j, nil)
+	jw2.event(event{Ev: evDone, Key: Key{"m1", "t1"}, N: 1})
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wal.IsFramed(img) || bytes.IndexByte(img, wal.Marker) >= 0 {
+		t.Fatal("legacy journal grew WAL frames")
+	}
+	replay2, j3, err := OpenJournal(path, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	if replay2.Done() != 2 {
+		t.Fatalf("after legacy append, done = %d, want 2", replay2.Done())
+	}
+}
+
+// TestReplaySalvagesTruncatedFinalLine is the satellite regression for
+// the classic crash artifact: a journal whose final line is a torn JSON
+// fragment. The valid prefix must be salvaged and the damage reported.
+func TestReplaySalvagesTruncatedFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	jw := newJournalWriter(&buf, nil)
+	jw.event(event{Ev: evEnqueue, Key: Key{"m0", "t1"}})
+	jw.event(event{Ev: evAttempt, Key: Key{"m0", "t1"}, N: 1})
+	jw.event(event{Ev: evDone, Key: Key{"m0", "t1"}, N: 1})
+	jw.event(event{Ev: evEnqueue, Key: Key{"m1", "t1"}})
+	full := buf.Bytes()
+	// Cut mid-way through the last line, no trailing newline.
+	cut := bytes.LastIndexByte(full[:len(full)-1], '\n') + 1 + 7
+	torn := full[:cut]
+
+	path := filepath.Join(t.TempDir(), "camp.jsonl")
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	replay, jf, err := Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	if replay.Done() != 1 {
+		t.Fatalf("salvaged done = %d, want 1", replay.Done())
+	}
+	if replay.Malformed != 1 {
+		t.Fatalf("malformed = %d, want 1 (the torn fragment)", replay.Malformed)
+	}
+	if !replay.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	// The m1 enqueue was the torn line: it must not be in Seen.
+	if replay.Seen[Key{"m1", "t1"}] {
+		t.Fatal("torn fragment leaked into replay")
+	}
+	// Resume terminated the fragment; a second open sees a repaired
+	// file — the fragment stays one Malformed line, no longer a torn
+	// tail.
+	replay2, j2, err := OpenJournal(path, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if replay2.TornTail || replay2.Done() != 1 || replay2.Malformed != 1 {
+		t.Fatalf("OpenJournal disagrees with Resume: %+v", replay2)
+	}
+}
+
+// TestOpenJournalOversizedGarbageLine: one huge unterminated garbage
+// line (larger than any sane buffer) must count as Malformed, not fail
+// the resume.
+func TestOpenJournalOversizedGarbageLine(t *testing.T) {
+	var buf bytes.Buffer
+	jw := newJournalWriter(&buf, nil)
+	jw.event(event{Ev: evEnqueue, Key: Key{"m0", "t1"}})
+	jw.event(event{Ev: evDone, Key: Key{"m0", "t1"}, N: 1})
+	buf.WriteString(strings.Repeat("x", 256*1024))
+
+	replay, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Done() != 1 || replay.Malformed != 1 {
+		t.Fatalf("done=%d malformed=%d, want 1/1", replay.Done(), replay.Malformed)
+	}
+}
+
+// errAfterWriter fails every write after the first n.
+type errAfterWriter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (w *errAfterWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n <= 0 {
+		return 0, errors.New("disk gone")
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestJournalFailureSurfaces is the satellite-1 regression: a journal
+// write failure must not silently disable durability — it shows up in
+// the snapshot (and its String), in JournalError, and the drop count
+// grows per suppressed event. Exactly one warning is logged.
+func TestJournalFailureSurfaces(t *testing.T) {
+	var logMu sync.Mutex
+	var logged []string
+	c := New(Config{
+		Workers: 2,
+		Journal: &errAfterWriter{n: 3},
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logged = append(logged, format)
+			logMu.Unlock()
+		},
+	}, func(ctx context.Context, task Task) error { return nil })
+	c.Add(tasksFor(3, 2)...)
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.JournalError(); err == nil {
+		t.Fatal("JournalError() = nil after write failures")
+	}
+	s := c.Snapshot()
+	if s.JournalErr == "" {
+		t.Fatal("snapshot missing journal error")
+	}
+	// 6 tasks emit 3 events each (enqueue/attempt/done) = 18; 3
+	// succeeded, the 4th hit the error (counted as dropped) and the
+	// remaining 14 were suppressed.
+	if s.JournalDropped != 15 {
+		t.Fatalf("JournalDropped = %d, want 15", s.JournalDropped)
+	}
+	if !strings.Contains(s.String(), "JOURNAL-FAILED") {
+		t.Fatalf("snapshot string hides the failure: %q", s.String())
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if len(logged) != 1 {
+		t.Fatalf("logged %d warnings, want exactly 1: %v", len(logged), logged)
+	}
+}
+
+// TestOpenJournalRotation: a WAL journal rotated across several
+// segments replays as one continuous record.
+func TestOpenJournalRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.wal")
+	_, j, err := OpenJournal(path, JournalOptions{RotateBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runJournaled(t, j, 8, 3)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := wal.Segments(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", len(segs))
+	}
+	replay, j2, err := OpenJournal(path, JournalOptions{RotateBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if replay.Done() != 24 {
+		t.Fatalf("rotated replay done = %d, want 24", replay.Done())
+	}
+	if len(replay.Unfinished(tasksFor(8, 3))) != 0 {
+		t.Fatal("rotated replay left unfinished tasks")
+	}
+}

@@ -32,11 +32,14 @@ type ProbeCampaignOpts struct {
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 	// Journal receives the append-only JSONL record of task
-	// transitions (see campaign.Resume).
+	// transitions (see campaign.OpenJournal / campaign.Resume).
 	Journal interface{ Write([]byte) (int, error) }
 	// Replay, when resuming, prunes (MTA, test) pairs the journal
 	// already records as finished.
 	Replay *campaign.Replay
+	// Logf receives operational warnings (the one-line journal-failure
+	// notice); nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // ProbeCampaign is a prepared probe run over every (MTA, test) pair of
@@ -100,6 +103,7 @@ func NewProbeCampaign(w *World, tests []string, opts ProbeCampaignOpts) *ProbeCa
 		BackoffMax:  opts.BackoffMax,
 		Seed:        w.cfg.Seed,
 		Journal:     opts.Journal,
+		Logf:        opts.Logf,
 	}, func(ctx context.Context, t campaign.Task) error {
 		info := addrOf[t.MTA]
 		c := *client

@@ -1,0 +1,69 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// BenchmarkWALAppend measures the per-record append cost of each sync
+// policy over a realistic journal-line payload. sync=none is the
+// number the bench-diff gate watches (it must stay comparable to a
+// plain buffered write); sync=always is reported, not gated — it is
+// the price of machine-crash durability and is dominated by the
+// device's fsync latency.
+func BenchmarkWALAppend(b *testing.B) {
+	rec := []byte(`{"t":"2026-08-08T12:00:00.000000001Z","ev":"done","k":{"mta":"mta00042","test":"t12"},"n":2}` + "\n")
+	for _, policy := range []SyncPolicy{SyncNone, SyncInterval, SyncAlways} {
+		b.Run(policy.String(), func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "bench.wal")
+			w, err := Open(path, Options{Sync: policy, Interval: 10 * time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.SetBytes(int64(len(rec)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWALRecover measures replaying a journal-sized log: the cost
+// a resumed campaign pays at startup.
+func BenchmarkWALRecover(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.wal")
+	w, err := Open(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		rec := fmt.Sprintf(`{"t":"2026-08-08T12:00:00Z","ev":"done","k":{"mta":"mta%05d","test":"t12"}}`+"\n", i)
+		if err := w.Append([]byte(rec)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := Recover(path, RecoverOptions{})
+		if err != nil || stats.Records != 10000 {
+			b.Fatalf("%+v, %v", stats, err)
+		}
+	}
+}

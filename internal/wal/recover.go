@@ -1,0 +1,346 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the WAL: crash recovery (walk the
+// file, keep the valid record prefix, truncate the rest) and the
+// streaming Reader analysis tooling uses to consume a framed log as if
+// it were the plain payload stream.
+//
+// The recovery invariant: a WAL file's meaningful content is always a
+// prefix of complete, checksum-valid frames. Anything after the first
+// invalid byte — wrong marker, impossible length, short payload, CRC
+// mismatch — is crash debris by definition, because Append hands each
+// frame to the kernel in order. Recovery therefore never resyncs past
+// corruption looking for later records; doing so could resurrect
+// records that were legitimately truncated away by an earlier repair,
+// breaking the append-only history.
+
+// RecoverStats describes a recovery or scan outcome.
+type RecoverStats struct {
+	// Records is the number of valid records in the salvaged prefix.
+	Records int
+	// GoodBytes is the length of the valid prefix (framing included).
+	GoodBytes int64
+	// DroppedBytes is the length of the torn/corrupt tail beyond the
+	// prefix (truncated away by Recover, skipped by a tolerant Reader).
+	DroppedBytes int64
+	// Truncated reports whether a tail was dropped at all.
+	Truncated bool
+}
+
+// RecoverOptions configures Recover.
+type RecoverOptions struct {
+	// MaxRecordBytes bounds the payload length a frame header may
+	// claim; larger claims are corruption. Default
+	// DefaultMaxRecordBytes.
+	MaxRecordBytes int
+	// RefuseUnframed makes Recover fail with ErrNotWAL when the file
+	// is non-empty and does not start with the frame marker, instead
+	// of truncating it to zero bytes. Open sets it: a plain JSONL log
+	// at the WAL's path is a configuration mistake, not a torn tail.
+	RefuseUnframed bool
+	// OnRecord, when non-nil, receives each salvaged record's payload
+	// during the scan. The slice is reused between calls.
+	OnRecord func(payload []byte) error
+}
+
+// Recover repairs the WAL file at path in place: it scans the frame
+// sequence from the front, keeps the longest valid prefix, and
+// truncates everything after it. It never errors on corrupt content —
+// arbitrary bytes are a recoverable state, yielding an empty log at
+// worst — and running it again on a repaired file is a fixed point.
+// A missing file recovers to empty stats. Real I/O failures (open,
+// read, truncate) are the only errors.
+func Recover(path string, opts RecoverOptions) (RecoverStats, error) {
+	if opts.MaxRecordBytes <= 0 {
+		opts.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return RecoverStats{}, nil
+	}
+	if err != nil {
+		return RecoverStats{}, fmt.Errorf("wal: opening %s for recovery: %w", path, err)
+	}
+	defer f.Close()
+
+	if opts.RefuseUnframed {
+		var first [1]byte
+		n, rerr := f.Read(first[:])
+		if rerr != nil && rerr != io.EOF {
+			return RecoverStats{}, fmt.Errorf("wal: reading %s: %w", path, rerr)
+		}
+		if n == 1 && first[0] != Marker {
+			return RecoverStats{}, fmt.Errorf("%w: %s", ErrNotWAL, path)
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return RecoverStats{}, fmt.Errorf("wal: seeking %s: %w", path, err)
+		}
+	}
+
+	stats, err := scan(bufio.NewReaderSize(f, 64*1024), opts.MaxRecordBytes, opts.OnRecord)
+	if err != nil {
+		return stats, err
+	}
+	if stats.Truncated {
+		if err := f.Truncate(stats.GoodBytes); err != nil {
+			return stats, fmt.Errorf("wal: truncating %s to %d bytes: %w", path, stats.GoodBytes, err)
+		}
+		if err := f.Sync(); err != nil {
+			return stats, fmt.Errorf("wal: syncing %s after truncation: %w", path, err)
+		}
+	}
+	return stats, nil
+}
+
+// scan walks frames from r, invoking onRecord per valid payload. It
+// stops at the first invalid frame and reports the remainder as
+// dropped. Only real read failures and onRecord errors are returned.
+func scan(br *bufio.Reader, maxRecord int, onRecord func([]byte) error) (RecoverStats, error) {
+	var stats RecoverStats
+	var payload []byte
+	var hdr [headerSize]byte
+	for {
+		n, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF && n == 0 {
+			return stats, nil // clean end on a frame boundary
+		}
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			stats.DroppedBytes += int64(n)
+			stats.Truncated = true
+			return stats, nil // torn header
+		}
+		if err != nil {
+			return stats, fmt.Errorf("wal: reading frame header: %w", err)
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[1:5]))
+		if hdr[0] != Marker || length > int64(maxRecord) {
+			// Corrupt header: everything from here on is debris. Count
+			// it without slurping multi-GB tails into memory.
+			dropped, derr := discard(br)
+			stats.DroppedBytes += int64(headerSize) + dropped
+			stats.Truncated = true
+			return stats, derr
+		}
+		want := crc32From(hdr[5:9])
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		pn, err := io.ReadFull(br, payload)
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			stats.DroppedBytes += int64(headerSize) + int64(pn)
+			stats.Truncated = true
+			return stats, nil // torn payload
+		}
+		if err != nil {
+			return stats, fmt.Errorf("wal: reading record payload: %w", err)
+		}
+		if Checksum(payload) != want {
+			dropped, derr := discard(br)
+			stats.DroppedBytes += int64(headerSize) + length + dropped
+			stats.Truncated = true
+			return stats, derr
+		}
+		if onRecord != nil {
+			if err := onRecord(payload); err != nil {
+				return stats, err
+			}
+		}
+		stats.Records++
+		stats.GoodBytes += int64(headerSize) + length
+	}
+}
+
+func crc32From(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+
+// discard consumes the rest of br, returning how many bytes it threw
+// away.
+func discard(br *bufio.Reader) (int64, error) {
+	n, err := io.Copy(io.Discard, br)
+	if err != nil {
+		return n, fmt.Errorf("wal: draining corrupt tail: %w", err)
+	}
+	return n, nil
+}
+
+// IsFramed reports whether a log stream beginning with these bytes is
+// WAL-framed. An empty prefix is not framed (an empty file works under
+// either reading, and the plain path is the historical default).
+func IsFramed(prefix []byte) bool {
+	return len(prefix) > 0 && prefix[0] == Marker
+}
+
+// Segments returns every segment of the WAL at path in append order:
+// rotated segments <path>.1, <path>.2, ... by sequence number, then
+// the live file itself. Only paths that exist are returned; a WAL that
+// never rotated yields just {path}, and a missing WAL yields nil.
+func Segments(path string) ([]string, error) {
+	rotated, err := rotatedSegments(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(rotated)+1)
+	for _, s := range rotated {
+		out = append(out, s.path)
+	}
+	if _, err := os.Stat(path); err == nil {
+		out = append(out, path)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	return out, nil
+}
+
+type segment struct {
+	path string
+	seq  int
+}
+
+// rotatedSegments lists <path>.<n> files sorted by n.
+func rotatedSegments(path string) ([]segment, error) {
+	dir := filepath.Dir(path)
+	base := filepath.Base(path)
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing segments of %s: %w", path, err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		rest, ok := strings.CutPrefix(name, base+".")
+		if !ok {
+			continue
+		}
+		seq, err := strconv.Atoi(rest)
+		if err != nil || seq < 1 {
+			continue
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), seq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// nextSeq picks the rotation suffix after the highest existing one.
+func nextSeq(path string) int {
+	segs, err := rotatedSegments(path)
+	if err != nil || len(segs) == 0 {
+		return 1
+	}
+	return segs[len(segs)-1].seq + 1
+}
+
+// Reader streams the payloads of a framed log as one concatenated byte
+// stream, so JSONL-over-WAL feeds the same line-oriented ingest as a
+// plain file. In tolerant mode (the analysis default) a torn or
+// corrupt tail reads as a clean EOF and is reported through Stats; in
+// strict mode it surfaces as an error.
+type Reader struct {
+	br       *bufio.Reader
+	pending  []byte // unread remainder of the current record
+	tolerant bool
+	maxRec   int
+	stats    RecoverStats
+	done     bool
+	err      error
+}
+
+// NewReader returns a tolerant Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 64*1024), tolerant: true, maxRec: DefaultMaxRecordBytes}
+}
+
+// NewStrictReader returns a Reader that fails on a torn or corrupt
+// tail instead of treating it as end-of-log.
+func NewStrictReader(r io.Reader) *Reader {
+	rd := NewReader(r)
+	rd.tolerant = false
+	return rd
+}
+
+// Stats reports what the Reader has seen so far; after EOF it is the
+// full scan outcome, mirroring Recover's accounting.
+func (r *Reader) Stats() RecoverStats { return r.stats }
+
+// Read implements io.Reader over the concatenated record payloads.
+func (r *Reader) Read(p []byte) (int, error) {
+	for len(r.pending) == 0 {
+		if r.err != nil {
+			return 0, r.err
+		}
+		if r.done {
+			return 0, io.EOF
+		}
+		if err := r.next(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, r.pending)
+	r.pending = r.pending[n:]
+	return n, nil
+}
+
+// next loads the next record into pending, or sets done/err.
+func (r *Reader) next() error {
+	var hdr [headerSize]byte
+	n, err := io.ReadFull(r.br, hdr[:])
+	if err == io.EOF && n == 0 {
+		r.done = true
+		return nil
+	}
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		return r.corrupt(int64(n), "torn frame header")
+	}
+	if err != nil {
+		return fmt.Errorf("wal: reading frame header: %w", err)
+	}
+	length := int64(binary.LittleEndian.Uint32(hdr[1:5]))
+	if hdr[0] != Marker || length > int64(r.maxRec) {
+		dropped, _ := discard(r.br)
+		return r.corrupt(int64(headerSize)+dropped, "corrupt frame header")
+	}
+	payload := make([]byte, length)
+	pn, err := io.ReadFull(r.br, payload)
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		return r.corrupt(int64(headerSize)+int64(pn), "torn record payload")
+	}
+	if err != nil {
+		return fmt.Errorf("wal: reading record payload: %w", err)
+	}
+	if Checksum(payload) != crc32From(hdr[5:9]) {
+		dropped, _ := discard(r.br)
+		return r.corrupt(int64(headerSize)+length+dropped, "record checksum mismatch")
+	}
+	r.stats.Records++
+	r.stats.GoodBytes += int64(headerSize) + length
+	r.pending = payload
+	return nil
+}
+
+// corrupt records a torn/corrupt tail: EOF when tolerant, error when
+// strict.
+func (r *Reader) corrupt(dropped int64, what string) error {
+	r.stats.DroppedBytes += dropped
+	r.stats.Truncated = true
+	r.done = true
+	if r.tolerant {
+		return nil
+	}
+	return fmt.Errorf("wal: %s after %d records (%d bytes dropped)", what, r.stats.Records, r.stats.DroppedBytes)
+}
