@@ -11,19 +11,19 @@ GO ?= go
 CHAOS_SEED ?= 42
 
 # Where `make bench` archives its parsed results.
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 
 # The baseline `make bench-diff` gates against.
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_8.json
 
 # The benchmarks that guard the serving hot path's allocation budget,
-# the log codec / analysis ingest throughput, and the WAL append path
-# under each sync policy.
-HOT_BENCHES = BenchmarkServeHotPath|BenchmarkDNSMessagePackUnpack|BenchmarkSPFParse|BenchmarkQueryLogJSONRoundTrip|BenchmarkLogCodec|BenchmarkParForEachLogJSON|BenchmarkWALAppend|BenchmarkWALRecover
+# the log codec / analysis ingest throughput, the WAL append path
+# under each sync policy, and the resolver/bulk-SPF concurrency path.
+HOT_BENCHES = BenchmarkServeHotPath|BenchmarkDNSMessagePackUnpack|BenchmarkSPFParse|BenchmarkQueryLogJSONRoundTrip|BenchmarkLogCodec|BenchmarkParForEachLogJSON|BenchmarkWALAppend|BenchmarkWALRecover|BenchmarkResolverParallel|BenchmarkSingleflightDedup|BenchmarkBulkSPF
 
-.PHONY: check vet build test fuzz-seeds chaos crash bench bench-smoke bench-diff telemetry-alloc
+.PHONY: check vet build test fuzz-seeds chaos crash bench bench-smoke bench-diff telemetry-alloc bulk-race
 
-check: vet build test fuzz-seeds telemetry-alloc crash bench-smoke
+check: vet build test fuzz-seeds telemetry-alloc crash bulk-race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -61,11 +61,19 @@ crash:
 
 # The instrument allocation pins: metric increments are on the DNS
 # serving hot path, so Counter.Inc / Histogram.Observe / vec lookups
-# must stay at zero allocations (alongside the codec pins that share
-# the naming convention).
+# must stay at zero allocations (alongside the codec pins and the
+# resolver cache-hit pin that share the naming convention).
 telemetry-alloc:
 	$(GO) test -run 'Alloc' -count=1 \
-		./internal/telemetry/ ./internal/dns/ ./internal/dnsserver/
+		./internal/telemetry/ ./internal/dns/ ./internal/dnsserver/ ./internal/resolver/
+
+# The bulk-SPF pipeline under seeded netsim faults and the race
+# detector: every input line must come back out exactly once while the
+# resolver retries through packet loss and refused dials. Reproduce a
+# failure with `make bulk-race CHAOS_SEED=<seed>`.
+bulk-race:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 \
+		-run 'TestBulkPipelineChaos' ./internal/bulkspf/
 
 # One iteration of every benchmark: catches bit-rot in benchmark code
 # without the cost of a measurement run.
@@ -76,7 +84,7 @@ bench-smoke:
 # the raw lines, for benchstat) to $(BENCH_OUT).
 bench:
 	$(GO) test -run NONE -bench '$(HOT_BENCHES)' -benchmem -count 1 \
-		. ./internal/dnsserver/ ./internal/wal/ | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+		. ./internal/dnsserver/ ./internal/wal/ ./internal/resolver/ | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
 # Re-measure the pinned benchmarks and fail if any ns/op number
@@ -86,4 +94,4 @@ bench:
 # changes.
 bench-diff:
 	$(GO) test -run NONE -bench '$(HOT_BENCHES)' -benchmem -count 1 \
-		. ./internal/dnsserver/ ./internal/wal/ | $(GO) run ./cmd/benchjson -diff $(BENCH_BASELINE)
+		. ./internal/dnsserver/ ./internal/wal/ ./internal/resolver/ | $(GO) run ./cmd/benchjson -diff $(BENCH_BASELINE)

@@ -14,11 +14,13 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"io"
 	"net/netip"
 	"strings"
 	"testing"
 	"time"
 
+	"sendervalid/internal/bulkspf"
 	"sendervalid/internal/campaign"
 	"sendervalid/internal/dataset"
 	"sendervalid/internal/dkim"
@@ -442,6 +444,51 @@ func BenchmarkAblationResolverCache(b *testing.B) {
 	}
 	b.Run("cached", func(b *testing.B) { run(b, false) })
 	b.Run("uncached", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkBulkSPF measures the concurrent bulk validation pipeline
+// end to end: JSONL tuples through the worker pool, every mechanism
+// lookup against a live in-process authoritative server through one
+// shared resolver. Domains repeat across tuples the way real mail
+// streams repeat senders, so the sharded cache and singleflight dedup
+// carry most of the load after the first pass.
+func BenchmarkBulkSPF(b *testing.B) {
+	env := &policy.Env{Suffix: experiment.DefaultTestSuffix, TimeScale: 1e-9}
+	srv := &dnsserver.Server{Zones: []*dnsserver.Zone{{
+		Suffix: experiment.DefaultTestSuffix, Responders: policy.Responders(env),
+	}}}
+	addr, err := srv.Start()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	const domains = 64
+	const tuples = 256
+	var in bytes.Buffer
+	for i := 0; i < tuples; i++ {
+		fmt.Fprintf(&in, `{"ip":"198.18.0.1","mail_from":"spf-test@t01.b%02d.%s"}`+"\n",
+			i%domains, strings.TrimSuffix(experiment.DefaultTestSuffix, "."))
+	}
+	data := in.Bytes()
+	res := resolver.New(resolver.Config{Server: addr.String()})
+	eval := bulkspf.New(bulkspf.Config{Resolver: res, Workers: 8})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := eval.Run(ctx, bytes.NewReader(data), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Evaluated != tuples || stats.Results[spf.Fail] != tuples {
+			b.Fatalf("unexpected stats: %+v", stats)
+		}
+	}
+	b.ReportMetric(tuples, "tuples/op")
 }
 
 // --- Protocol micro-benchmarks ---

@@ -1,53 +1,115 @@
-// Command spfcheck evaluates SPF (RFC 7208) for a connection tuple
-// against a DNS server, printing the check_host() result and the
-// lookup counters.
+// Command spfcheck evaluates SPF (RFC 7208) against a DNS server, in
+// one of two modes:
 //
-// Usage:
+// Single tuple: evaluate one connection and print the check_host()
+// result and lookup counters.
 //
 //	spfcheck -ip 192.0.2.1 -from user@example.com [-helo mail.example.com]
 //	         [-server 127.0.0.1:53] [-limit 10] [-void 2] [-prefetch]
 //	         [-tolerate-syntax] [-follow-multiple]
 //
+// Bulk: stream JSONL tuples ({"ip":..., "mail_from":..., "helo":...,
+// "domain":...}) from -input (a path, or "-" for stdin) through a
+// concurrent worker pool sharing one resolver, writing one JSONL
+// result per line to stdout in input order (-unordered to emit on
+// completion) and a throughput summary to stderr.
+//
+//	spfcheck -server 127.0.0.1:53 -input tuples.jsonl [-workers N] [-unordered]
+//
 // Without -server, the system resolver cannot be used (this module is
 // self-contained), so a server address is required.
+//
+// Exit codes:
+//
+//	0  every evaluation was definitive (pass, fail, softfail, neutral,
+//	   none, or permerror-free input)
+//	1  at least one temperror: a transient DNS failure — retry later
+//	2  usage error: bad flags or unreadable input
+//	3  at least one permerror or unparseable input line (and no
+//	   temperror): the policy or the input is broken — retrying will
+//	   not help
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
 	"time"
 
+	"sendervalid/internal/bulkspf"
 	"sendervalid/internal/resolver"
 	"sendervalid/internal/smtp"
 	"sendervalid/internal/spf"
 )
 
-func main() {
-	var (
-		ipFlag     = flag.String("ip", "", "connecting client IP (required)")
-		fromFlag   = flag.String("from", "", "MAIL FROM address (required)")
-		heloFlag   = flag.String("helo", "", "HELO/EHLO domain (default: From domain)")
-		serverFlag = flag.String("server", "", "DNS server address ip:port (required)")
-		limitFlag  = flag.Int("limit", 0, "DNS lookup limit (0 = RFC default 10, -1 = unlimited)")
-		voidFlag   = flag.Int("void", 0, "void lookup limit (0 = RFC default 2, -1 = unlimited)")
-		prefetch   = flag.Bool("prefetch", false, "resolve mechanisms in parallel (the 3% behaviour)")
-		tolerate   = flag.Bool("tolerate-syntax", false, "continue past syntax errors (a violation)")
-		followMany = flag.Bool("follow-multiple", false, "follow the first of multiple SPF records (a violation)")
-		timeoutS   = flag.Duration("timeout", 20*time.Second, "overall evaluation timeout")
-	)
-	flag.Parse()
+// Exit codes; see the command comment.
+const (
+	exitOK        = 0
+	exitTempError = 1
+	exitUsage     = 2
+	exitPermError = 3
+)
 
-	if *ipFlag == "" || *fromFlag == "" || *serverFlag == "" {
-		flag.Usage()
-		os.Exit(2)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spfcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		ipFlag     = fs.String("ip", "", "connecting client IP (single-tuple mode)")
+		fromFlag   = fs.String("from", "", "MAIL FROM address (single-tuple mode)")
+		heloFlag   = fs.String("helo", "", "HELO/EHLO domain (default: From domain)")
+		serverFlag = fs.String("server", "", "DNS server address ip:port (required)")
+		inputFlag  = fs.String("input", "", "bulk mode: JSONL tuple file, or - for stdin")
+		workers    = fs.Int("workers", 0, "bulk mode: concurrent evaluations (0 = GOMAXPROCS)")
+		unordered  = fs.Bool("unordered", false, "bulk mode: emit results on completion instead of input order")
+		limitFlag  = fs.Int("limit", 0, "DNS lookup limit (0 = RFC default 10, -1 = unlimited)")
+		voidFlag   = fs.Int("void", 0, "void lookup limit (0 = RFC default 2, -1 = unlimited)")
+		prefetch   = fs.Bool("prefetch", false, "resolve mechanisms in parallel (the 3% behaviour)")
+		tolerate   = fs.Bool("tolerate-syntax", false, "continue past syntax errors (a violation)")
+		followMany = fs.Bool("follow-multiple", false, "follow the first of multiple SPF records (a violation)")
+		timeoutS   = fs.Duration("timeout", 20*time.Second, "per-evaluation timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *serverFlag == "" {
+		fmt.Fprintln(stderr, "spfcheck: -server is required")
+		fs.Usage()
+		return exitUsage
+	}
+	opts := spf.Options{
+		LookupLimit:           *limitFlag,
+		VoidLookupLimit:       *voidFlag,
+		Prefetch:              *prefetch,
+		IgnoreSyntaxErrors:    *tolerate,
+		FollowMultipleRecords: *followMany,
+		Timeout:               *timeoutS,
+	}
+	res := resolver.New(resolver.Config{Server: *serverFlag})
+
+	if *inputFlag != "" {
+		if *ipFlag != "" || *fromFlag != "" {
+			fmt.Fprintln(stderr, "spfcheck: -input (bulk mode) excludes -ip/-from")
+			return exitUsage
+		}
+		return runBulk(res, opts, *inputFlag, *workers, *unordered, stdin, stdout, stderr)
+	}
+
+	if *ipFlag == "" || *fromFlag == "" {
+		fmt.Fprintln(stderr, "spfcheck: need -ip and -from (or -input for bulk mode)")
+		fs.Usage()
+		return exitUsage
 	}
 	ip, err := netip.ParseAddr(*ipFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "spfcheck: bad -ip: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "spfcheck: bad -ip: %v\n", err)
+		return exitUsage
 	}
 	domain := smtp.DomainOf(*fromFlag)
 	if domain == "" {
@@ -57,30 +119,80 @@ func main() {
 	if helo == "" {
 		helo = domain
 	}
-
-	res := resolver.New(resolver.Config{Server: *serverFlag})
-	checker := &spf.Checker{
-		Resolver: res,
-		Options: spf.Options{
-			LookupLimit:           *limitFlag,
-			VoidLookupLimit:       *voidFlag,
-			Prefetch:              *prefetch,
-			IgnoreSyntaxErrors:    *tolerate,
-			FollowMultipleRecords: *followMany,
-			Timeout:               *timeoutS,
-		},
-	}
+	checker := &spf.Checker{Resolver: res, Options: opts}
 	out := checker.CheckHost(context.Background(), ip, domain, *fromFlag, helo)
-	fmt.Printf("result:       %s\n", out.Result)
-	fmt.Printf("dns lookups:  %d\n", out.Lookups)
-	fmt.Printf("void lookups: %d\n", out.VoidLookups)
+	fmt.Fprintf(stdout, "result:       %s\n", out.Result)
+	fmt.Fprintf(stdout, "dns lookups:  %d\n", out.Lookups)
+	fmt.Fprintf(stdout, "void lookups: %d\n", out.VoidLookups)
 	if out.Explanation != "" {
-		fmt.Printf("explanation:  %s\n", out.Explanation)
+		fmt.Fprintf(stdout, "explanation:  %s\n", out.Explanation)
 	}
 	if out.Err != nil {
-		fmt.Printf("detail:       %v\n", out.Err)
+		fmt.Fprintf(stdout, "detail:       %v\n", out.Err)
 	}
-	if out.Result == spf.TempError {
-		os.Exit(1)
+	switch out.Result {
+	case spf.TempError:
+		return exitTempError
+	case spf.PermError:
+		return exitPermError
 	}
+	return exitOK
+}
+
+// runBulk streams tuples through the bulkspf pipeline and maps the
+// aggregate outcome onto the exit codes.
+func runBulk(res *resolver.Resolver, opts spf.Options, input string, workers int, unordered bool, stdin io.Reader, stdout, stderr io.Writer) int {
+	in := stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			fmt.Fprintf(stderr, "spfcheck: %v\n", err)
+			return exitUsage
+		}
+		defer f.Close()
+		in = f
+	}
+	eval := bulkspf.New(bulkspf.Config{
+		Resolver:  res,
+		SPF:       opts,
+		Workers:   workers,
+		Unordered: unordered,
+	})
+	stats, err := eval.Run(context.Background(), in, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "spfcheck: %v\n", err)
+		return exitUsage
+	}
+	total := stats.Evaluated + stats.Errored
+	secs := stats.Elapsed.Seconds()
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(total) / secs
+	}
+	fmt.Fprintf(stderr, "spfcheck: %d tuples in %v (%.0f/s), %d input errors, results: %v\n",
+		total, stats.Elapsed.Round(time.Millisecond), rate, stats.Errored, formatResults(stats))
+	switch {
+	case stats.Results[spf.TempError] > 0:
+		return exitTempError
+	case stats.Results[spf.PermError] > 0:
+		return exitPermError
+	}
+	return exitOK
+}
+
+// formatResults renders the result histogram in a stable order.
+func formatResults(stats bulkspf.Stats) string {
+	out := ""
+	for _, r := range []spf.Result{spf.Pass, spf.Fail, spf.SoftFail, spf.Neutral, spf.None, spf.TempError, spf.PermError} {
+		if n := stats.Results[r]; n > 0 {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s=%d", r, n)
+		}
+	}
+	if out == "" {
+		out = "(none)"
+	}
+	return out
 }

@@ -1,0 +1,190 @@
+package bulkspf
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"sendervalid/internal/dns"
+	"sendervalid/internal/leaktest"
+	"sendervalid/internal/netsim"
+	"sendervalid/internal/resolver"
+	"sendervalid/internal/spf"
+)
+
+// chaosSeed returns the fault seed: CHAOS_SEED when set (the same knob
+// as `make chaos`), else the default, always logged for reproduction.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := int64(42)
+	if env := os.Getenv("CHAOS_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", env, err)
+		}
+		seed = v
+	}
+	t.Logf("CHAOS_SEED=%d (override with the env var to reproduce)", seed)
+	return seed
+}
+
+// fabricDNS serves a static TXT zone over fabric datagram connections:
+// one read is one query (the fabric preserves datagram framing), so a
+// reply per read and close. Lost datagrams surface to the resolver as
+// read timeouts, which its retry loop absorbs.
+func fabricDNS(t *testing.T, ln *netsim.Listener, txt map[string]string) {
+	t.Helper()
+	serveConn := func(conn net.Conn) {
+		defer conn.Close()
+		buf := make([]byte, 4096)
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			var req dns.Message
+			if err := req.Unpack(buf[:n]); err != nil {
+				continue
+			}
+			q := req.Question()
+			resp := new(dns.Message).SetReply(&req)
+			resp.Authoritative = true
+			name := dns.CanonicalName(q.Name)
+			rec, ok := txt[name]
+			switch {
+			case !ok:
+				resp.RCode = dns.RCodeNameError
+			case q.Type == dns.TypeTXT:
+				resp.Answers = []dns.RR{{
+					Name: name, Type: dns.TypeTXT, Class: dns.ClassINET, TTL: 300,
+					Data: &dns.TXT{Strings: []string{rec}},
+				}}
+			}
+			pkt, err := resp.Pack()
+			if err != nil {
+				continue
+			}
+			if _, err := conn.Write(pkt); err != nil {
+				return
+			}
+		}
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serveConn(conn)
+		}
+	}()
+}
+
+// TestBulkPipelineChaos runs the full bulk pipeline against a DNS
+// server reached through a lossy, refusal-prone netsim fabric: every
+// input line must still produce exactly one output line, worst case a
+// temperror, and the run must not leak goroutines. This is the -race
+// leg `make check` runs via the bulk-race target.
+func TestBulkPipelineChaos(t *testing.T) {
+	t.Cleanup(leaktest.Check(t))
+	seed := chaosSeed(t)
+
+	fabric := netsim.NewFabric()
+	fabric.SetChaosSeed(seed)
+	dnsAddr := netip.MustParseAddrPort("192.0.2.53:53")
+	ln, err := fabric.Listen(dnsAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+
+	const domains = 12
+	zone := make(map[string]string, domains)
+	for i := 0; i < domains; i++ {
+		policy := "v=spf1 ip4:203.0.113.0/24 -all"
+		if i%3 == 0 {
+			policy = "v=spf1 -all"
+		}
+		zone[fmt.Sprintf("d%02d.chaos.example.", i)] = policy
+	}
+	fabricDNS(t, ln, zone)
+
+	// Faults on every path between the stub resolver and the server:
+	// dropped datagrams (queries and replies), refused dials, jitter.
+	fabric.SetDefaultFaults(&netsim.FaultProfile{
+		DialFailure: 0.05,
+		Loss:        0.12,
+		Jitter:      2 * time.Millisecond,
+	})
+
+	r := resolver.New(resolver.Config{
+		Server:     dnsAddr.String(),
+		Dialer:     fabric,
+		DisableTCP: true,
+		Timeout:    150 * time.Millisecond,
+		MaxRetries: 5,
+	})
+
+	const tuples = 150
+	var in bytes.Buffer
+	for i := 0; i < tuples; i++ {
+		ip := "203.0.113.9" // in the pass range
+		if i%2 == 1 {
+			ip = "198.51.100.9"
+		}
+		fmt.Fprintf(&in, `{"ip":%q,"mail_from":"u%d@d%02d.chaos.example"}`+"\n",
+			ip, i, i%domains)
+	}
+
+	var out bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	stats, err := New(Config{Resolver: r, Workers: 6}).Run(ctx, &in, &out)
+	if err != nil {
+		t.Fatalf("Run under chaos: %v", err)
+	}
+
+	var results []Result
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var res Result
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("bad output line %q: %v", sc.Text(), err)
+		}
+		results = append(results, res)
+	}
+	if len(results) != tuples {
+		t.Fatalf("chaos run emitted %d results for %d tuples", len(results), tuples)
+	}
+	var temperrors int
+	for i, res := range results {
+		if res.Seq != i {
+			t.Fatalf("result %d has seq %d; ordered output required", i, res.Seq)
+		}
+		switch res.Result {
+		case spf.Pass, spf.Fail:
+		case spf.TempError:
+			temperrors++
+		default:
+			t.Errorf("seq %d: unexpected result %q (detail %q err %q)",
+				res.Seq, res.Result, res.Detail, res.Err)
+		}
+	}
+	if stats.Evaluated != tuples {
+		t.Errorf("stats.Evaluated = %d, want %d", stats.Evaluated, tuples)
+	}
+	t.Logf("chaos run: %d tuples, %d temperror, results %v, elapsed %v",
+		tuples, temperrors, stats.Results, stats.Elapsed)
+	if temperrors == tuples {
+		t.Error("every tuple temperrored; the retry path absorbed nothing")
+	}
+}

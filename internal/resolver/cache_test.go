@@ -1,0 +1,168 @@
+package resolver
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"sendervalid/internal/dns"
+)
+
+// TestCacheBoundUnderConcurrentHammer proves the configured
+// MaxCacheEntries bound holds while many goroutines insert disjoint
+// names concurrently (run under -race by `make test`): the sharded
+// cache may hold stale entries between accesses, but it can never
+// exceed the configured capacity.
+func TestCacheBoundUnderConcurrentHammer(t *testing.T) {
+	h := newStaticHandler()
+	const names = 400
+	for i := 0; i < names; i++ {
+		h.add(fmt.Sprintf("h%03d.example.com", i), dns.TypeA,
+			&dns.A{Addr: netip.MustParseAddr("192.0.2.9")})
+	}
+	const bound = 64
+	r := New(Config{Server: startServer(t, h), MaxCacheEntries: bound})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < names; i += 8 {
+				if _, err := r.LookupA(ctx, fmt.Sprintf("h%03d.example.com", i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if n := r.CacheLen(); n > bound {
+					t.Errorf("cache grew to %d entries, bound %d", n, bound)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := r.CacheLen(); n > bound {
+		t.Errorf("final cache size %d exceeds bound %d", n, bound)
+	}
+}
+
+// TestEvictExpiredFirst pins the capacity-time eviction policy: when a
+// shard is full, expired entries are reclaimed before any live entry
+// is dropped.
+func TestEvictExpiredFirst(t *testing.T) {
+	c := newShardedCache(4) // stays single-shard: capacity 4
+	if len(c.shards) != 1 {
+		t.Fatalf("expected 1 shard for capacity 4, got %d", len(c.shards))
+	}
+	now := time.Now()
+	mk := func(name string) cacheKey { return cacheKey{name: name, typ: dns.TypeA} }
+	live1, live2 := mk("live1."), mk("live2.")
+	dead1, dead2 := mk("dead1."), mk("dead2.")
+	msg := &dns.Message{}
+	c.put(live1, msg, now.Add(time.Hour))
+	c.put(live2, msg, now.Add(time.Hour))
+	c.put(dead1, msg, now.Add(-time.Second))
+	c.put(dead2, msg, now.Add(-time.Second))
+
+	// The shard is at capacity; the next insert must reclaim the two
+	// expired entries and keep both live ones.
+	fresh := mk("fresh.")
+	c.put(fresh, msg, now.Add(time.Hour))
+	for _, k := range []cacheKey{live1, live2, fresh} {
+		if _, ok := c.get(k, now); !ok {
+			t.Errorf("live entry %q evicted while expired entries existed", k.name)
+		}
+	}
+	for _, k := range []cacheKey{dead1, dead2} {
+		if _, ok := c.shard(k).entries[k]; ok {
+			t.Errorf("expired entry %q survived eviction", k.name)
+		}
+	}
+}
+
+// TestEvictSoonestExpiryWhenNoneExpired pins the fallback: with no
+// expired entries, the entry closest to expiry goes first.
+func TestEvictSoonestExpiryWhenNoneExpired(t *testing.T) {
+	c := newShardedCache(3)
+	now := time.Now()
+	msg := &dns.Message{}
+	near := cacheKey{name: "near.", typ: dns.TypeA}
+	c.put(cacheKey{name: "far1.", typ: dns.TypeA}, msg, now.Add(time.Hour))
+	c.put(near, msg, now.Add(time.Minute))
+	c.put(cacheKey{name: "far2.", typ: dns.TypeA}, msg, now.Add(time.Hour))
+
+	c.put(cacheKey{name: "new.", typ: dns.TypeA}, msg, now.Add(time.Hour))
+	if _, ok := c.get(near, now); ok {
+		t.Error("soonest-expiring entry survived a full-shard insert")
+	}
+	if c.len() != 3 {
+		t.Errorf("cache holds %d entries, capacity 3", c.len())
+	}
+}
+
+// TestShardCountScalesWithCapacity pins the shard-sizing rule: small
+// caches stay unsharded so their bound is exact; the default splits
+// into 16 shards.
+func TestShardCountScalesWithCapacity(t *testing.T) {
+	cases := []struct{ max, shards int }{
+		{1, 1}, {10, 1}, {63, 1}, {64, 2}, {128, 4}, {4096, 16}, {1 << 20, 16},
+	}
+	for _, c := range cases {
+		if got := len(newShardedCache(c.max).shards); got != c.shards {
+			t.Errorf("newShardedCache(%d): %d shards, want %d", c.max, got, c.shards)
+		}
+	}
+}
+
+// TestExchangeHitPathAllocFree pins the zero-allocation cache-hit
+// path: a warm Exchange performs no heap allocations (metrics
+// increments, shard selection, and the map probe are all alloc-free).
+func TestExchangeHitPathAllocFree(t *testing.T) {
+	h := newStaticHandler()
+	h.add("hot.example.com", dns.TypeA, &dns.A{Addr: netip.MustParseAddr("192.0.2.9")})
+	r := New(Config{Server: startServer(t, h)})
+	ctx := context.Background()
+	const name = "hot.example.com." // canonical: no normalization alloc
+	if _, err := r.Exchange(ctx, name, dns.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := r.Exchange(ctx, name, dns.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache-hit Exchange: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestNegativeCaching verifies empty results are cached under the
+// negative TTL and that a negative NegativeTTL disables the behaviour.
+func TestNegativeCaching(t *testing.T) {
+	h := newStaticHandler()
+	r := New(Config{Server: startServer(t, h), NegativeTTL: time.Minute})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if txts, err := r.LookupTXT(ctx, "missing.example.com"); err != nil || len(txts) != 0 {
+			t.Fatalf("lookup %d: %v, %v", i, txts, err)
+		}
+	}
+	if got := h.queries("TXT missing.example.com."); got != 1 {
+		t.Errorf("server saw %d queries, want 1 (negative-cached)", got)
+	}
+
+	r2 := New(Config{Server: startServer(t, h), NegativeTTL: -1})
+	for i := 0; i < 3; i++ {
+		if _, err := r2.LookupTXT(ctx, "missing.example.com"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.queries("TXT missing.example.com."); got != 4 {
+		t.Errorf("server saw %d queries, want 4 (negative caching disabled)", got)
+	}
+}

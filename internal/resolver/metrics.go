@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"os"
+	"strconv"
 
 	"sendervalid/internal/telemetry"
 )
@@ -17,6 +18,8 @@ type resolverMetrics struct {
 	cacheHits telemetry.Counter
 	retries   telemetry.Counter // transport-level retry attempts
 	timeouts  telemetry.Counter // attempts that failed with a deadline/timeout
+	sfLeader  telemetry.Counter // flights led (wire exchanges performed)
+	sfShared  telemetry.Counter // Exchange calls that joined an in-flight query
 }
 
 // isTimeout reports whether an exchange attempt failed on a deadline:
@@ -46,7 +49,21 @@ func (r *Resolver) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.
 	reg.MustCounter("resolver_timeouts_total",
 		"Exchange attempts that failed on a timeout or deadline.",
 		&r.metrics.timeouts, labels...)
+	reg.MustCounter("resolver_singleflight_leader_total",
+		"Singleflight flights led: deduplicated wire exchanges performed.",
+		&r.metrics.sfLeader, labels...)
+	reg.MustCounter("resolver_singleflight_shared_total",
+		"Exchange calls that joined another caller's in-flight query instead of hitting the wire.",
+		&r.metrics.sfShared, labels...)
 	reg.MustGaugeFunc("resolver_cache_entries",
 		"Entries currently held in the resolver cache.",
 		func() float64 { return float64(r.CacheLen()) }, labels...)
+	for i := range r.cache.shards {
+		shard := i
+		reg.MustGaugeFunc("resolver_cache_shard_entries",
+			"Entries currently held per cache shard (expired-but-unreaped included).",
+			func() float64 { return float64(r.cache.shardLen(shard)) },
+			append(append([]telemetry.Label(nil), labels...),
+				telemetry.L("shard", strconv.Itoa(shard)))...)
+	}
 }

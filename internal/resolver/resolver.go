@@ -18,7 +18,6 @@ import (
 	"net/netip"
 	"os"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
@@ -70,10 +69,17 @@ type Config struct {
 	// response. The paper found only 2 of 1336 resolvers with this
 	// defect (§7.3).
 	DisableTCP bool
-	// DisableCache turns off response caching.
+	// DisableCache turns off response caching and, with it, in-flight
+	// query deduplication: configurations that disable the cache (the
+	// wire-behaviour ablations) want every lookup observable on the
+	// wire.
 	DisableCache bool
 	// MaxCacheEntries bounds the cache. Zero means 4096.
 	MaxCacheEntries int
+	// NegativeTTL is the cache lifetime for results with no records
+	// (NXDOMAIN or an empty answer). Zero means DefaultNegativeTTL;
+	// negative disables negative caching.
+	NegativeTTL time.Duration
 	// MaxRetries is how many times a query is re-sent after a
 	// transport failure — a timeout, a connection reset mid-message, a
 	// truncated/short TCP read — before the error is surfaced. Server
@@ -86,25 +92,24 @@ type Config struct {
 }
 
 // Resolver is a caching stub resolver bound to one upstream server.
+// It is safe for concurrent use: the response cache is sharded with
+// per-shard read/write locks, and concurrent identical queries are
+// collapsed into one wire exchange by a singleflight group (see
+// flightGroup), so bulk SPF evaluation scales with cores instead of
+// serializing on one cache mutex.
 type Resolver struct {
 	cfg    Config
 	client *dns.Client
 
 	metrics resolverMetrics
 
-	mu    sync.Mutex
-	cache map[cacheKey]cacheEntry
+	cache  *shardedCache
+	flight flightGroup
 }
 
-type cacheKey struct {
-	name string
-	typ  dns.Type
-}
-
-type cacheEntry struct {
-	msg     *dns.Message
-	expires time.Time
-}
+// DefaultNegativeTTL is how long empty results (NXDOMAIN or no
+// records) stay cached when Config.NegativeTTL is zero.
+const DefaultNegativeTTL = 30 * time.Second
 
 // New creates a Resolver from cfg.
 func New(cfg Config) *Resolver {
@@ -118,7 +123,7 @@ func New(cfg Config) *Resolver {
 			Dialer:             cfg.Dialer,
 			DisableTCPFallback: cfg.DisableTCP,
 		},
-		cache: make(map[cacheKey]cacheEntry),
+		cache: newShardedCache(cfg.MaxCacheEntries),
 	}
 }
 
@@ -156,21 +161,65 @@ func isV6HostPort(hostport string) bool {
 }
 
 // Exchange resolves (name, t) against the upstream, consulting the
-// cache first. Transport failures — timeouts, resets, short TCP reads
-// from a dying connection — are retried up to MaxRetries times, so the
-// faults a hostile network injects between the stub and its upstream
-// do not surface as measurement noise; non-success RCODEs and context
-// cancellation are surfaced immediately.
+// cache first. Concurrent identical queries share one wire exchange
+// (singleflight): the first caller leads, later callers wait for its
+// result. A waiter whose context is cancelled returns promptly while
+// the exchange itself keeps running under a flight-owned context and
+// still populates the cache. Transport failures — timeouts, resets,
+// short TCP reads from a dying connection — are retried up to
+// MaxRetries times, so the faults a hostile network injects between
+// the stub and its upstream do not surface as measurement noise;
+// non-success RCODEs are surfaced immediately and never cached.
 func (r *Resolver) Exchange(ctx context.Context, name string, t dns.Type) (*dns.Message, error) {
 	name = dns.CanonicalName(name)
 	key := cacheKey{name: name, typ: t}
 	r.metrics.queries.Inc()
-	if !r.cfg.DisableCache {
-		if msg, ok := r.cacheGet(key); ok {
-			r.metrics.cacheHits.Inc()
-			return msg, nil
+	if r.cfg.DisableCache {
+		// No cache means no flight either: a deduplicated answer is a
+		// momentary cache, and cache-disabled configurations exist to
+		// make every lookup observable at the server.
+		return r.exchangeWithRetry(ctx, name, t)
+	}
+	if msg, ok := r.cache.get(key, time.Now()); ok {
+		r.metrics.cacheHits.Inc()
+		return msg, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c, leader := r.flight.join(key)
+	if leader {
+		r.metrics.sfLeader.Inc()
+		go r.lead(key, c, name, t)
+	} else {
+		r.metrics.sfShared.Inc()
+	}
+	select {
+	case <-c.done:
+		return c.msg, c.err
+	case <-ctx.Done():
+		r.flight.leave(c)
+		return nil, ctx.Err()
+	}
+}
+
+// lead performs a flight's wire exchange under the flight-owned
+// context, caches a successful response, and publishes the outcome to
+// every waiter. Leader errors are not cached: the next caller after
+// finish starts a fresh flight.
+func (r *Resolver) lead(key cacheKey, c *flightCall, name string, t dns.Type) {
+	msg, err := r.exchangeWithRetry(c.ctx, name, t)
+	if err == nil {
+		if ttl, ok := r.ttlFor(msg); ok {
+			r.cache.put(key, msg, time.Now().Add(ttl))
 		}
 	}
+	r.flight.finish(key, c, msg, err)
+}
+
+// exchangeWithRetry is the wire path: one exchange plus the
+// transport-fault retry loop.
+func (r *Resolver) exchangeWithRetry(ctx context.Context, name string, t dns.Type) (*dns.Message, error) {
 	retries := r.cfg.MaxRetries
 	switch {
 	case retries == 0:
@@ -198,10 +247,22 @@ func (r *Resolver) Exchange(ctx context.Context, name string, t dns.Type) (*dns.
 	default:
 		return nil, &ServerError{Name: name, RCode: resp.RCode}
 	}
-	if !r.cfg.DisableCache {
-		r.cachePut(key, resp)
-	}
 	return resp, nil
+}
+
+// ttlFor returns how long msg may be cached. Empty results use the
+// negative-caching TTL; the false return means "do not cache".
+func (r *Resolver) ttlFor(msg *dns.Message) (time.Duration, bool) {
+	if len(msg.Answers) == 0 {
+		switch ttl := r.cfg.NegativeTTL; {
+		case ttl < 0:
+			return 0, false
+		case ttl > 0:
+			return ttl, true
+		}
+		return DefaultNegativeTTL, true
+	}
+	return minTTL(msg), true
 }
 
 // exchangeOnce performs one full query round, including the IPv6
@@ -252,43 +313,15 @@ func retryable(err error) bool {
 	return errors.As(err, &netErr) && netErr.Timeout()
 }
 
-func (r *Resolver) cacheGet(key cacheKey) (*dns.Message, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.cache[key]
-	if !ok || time.Now().After(e.expires) {
-		delete(r.cache, key)
-		return nil, false
-	}
-	return e.msg, true
-}
+// CacheLen returns the number of cached responses, including expired
+// entries not yet reclaimed by capacity-time eviction.
+func (r *Resolver) CacheLen() int { return r.cache.len() }
 
-func (r *Resolver) cachePut(key cacheKey, msg *dns.Message) {
-	ttl := minTTL(msg)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.cache) >= r.cfg.MaxCacheEntries {
-		// Simple pressure relief: drop everything. The workloads this
-		// resolver serves (one SPF evaluation per message) re-warm the
-		// cache within a handful of queries.
-		r.cache = make(map[cacheKey]cacheEntry)
-	}
-	r.cache[key] = cacheEntry{msg: msg, expires: time.Now().Add(ttl)}
-}
-
-// CacheLen returns the number of cached responses.
-func (r *Resolver) CacheLen() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.cache)
-}
+// CacheShards returns the number of cache shards.
+func (r *Resolver) CacheShards() int { return len(r.cache.shards) }
 
 // FlushCache drops all cached responses.
-func (r *Resolver) FlushCache() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.cache = make(map[cacheKey]cacheEntry)
-}
+func (r *Resolver) FlushCache() { r.cache.flush() }
 
 // minTTL returns the smallest answer TTL, clamped to [1s, 1h]; empty
 // (negative) answers are cached briefly.

@@ -58,7 +58,7 @@ func (h *staticHandler) ServeDNS(w dns.ResponseWriter, r *dns.Request) {
 	_ = w.WriteMsg(resp)
 }
 
-func startServer(t *testing.T, h dns.Handler) string {
+func startServer(t testing.TB, h dns.Handler) string {
 	t.Helper()
 	srv := &dns.Server{Addr: "127.0.0.1:0", Handler: h}
 	addr, err := srv.Start()

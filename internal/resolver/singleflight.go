@@ -1,0 +1,86 @@
+package resolver
+
+import (
+	"context"
+	"sync"
+
+	"sendervalid/internal/dns"
+)
+
+// flightGroup deduplicates concurrent identical queries: the first
+// caller for a key becomes the leader and performs the wire exchange;
+// callers arriving while it is in flight join as waiters and share the
+// outcome, so N concurrent evaluations of the same include-heavy
+// record cost one exchange instead of N.
+//
+// The exchange runs under a flight-owned context (derived from
+// context.Background, not from any caller): a waiter whose own context
+// is cancelled leaves the flight without disturbing the leader's
+// exchange, which completes and populates the cache for later callers.
+// The flight context is cancelled only when every joined caller —
+// leader included — has abandoned the call, so a fully orphaned
+// exchange still cleans up promptly instead of running to its timeout.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[cacheKey]*flightCall
+}
+
+// flightCall is one in-flight wire exchange.
+type flightCall struct {
+	// done is closed by finish after msg and err are set.
+	done chan struct{}
+	msg  *dns.Message
+	err  error
+
+	// refs counts callers still waiting on the call. ctx is the
+	// flight-owned exchange context, cancelled when refs drops to zero
+	// before the exchange finishes.
+	refs   int
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// join returns the call for key, creating it if none is in flight. The
+// second return value reports whether the caller is the leader and
+// must run the exchange.
+func (g *flightGroup) join(key cacheKey) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[cacheKey]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.refs++
+		return c, false
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &flightCall{done: make(chan struct{}), refs: 1, ctx: ctx, cancel: cancel}
+	g.calls[key] = c
+	return c, true
+}
+
+// leave abandons a call whose result the caller no longer wants (its
+// own context was cancelled). The last departure cancels the flight
+// context so an exchange nobody is waiting for stops retrying.
+func (g *flightGroup) leave(c *flightCall) {
+	g.mu.Lock()
+	c.refs--
+	orphaned := c.refs == 0
+	g.mu.Unlock()
+	if orphaned {
+		c.cancel()
+	}
+}
+
+// finish publishes the exchange outcome and retires the call. New
+// callers for the same key start a fresh flight from here on — in
+// particular a leader error is never replayed to them (errors are not
+// cached; only the waiters already joined share the failure).
+func (g *flightGroup) finish(key cacheKey, c *flightCall, msg *dns.Message, err error) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.msg, c.err = msg, err
+	close(c.done)
+	c.cancel()
+}
