@@ -11,19 +11,19 @@ GO ?= go
 CHAOS_SEED ?= 42
 
 # Where `make bench` archives its parsed results.
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 
 # The baseline `make bench-diff` gates against.
-BENCH_BASELINE ?= BENCH_8.json
+BENCH_BASELINE ?= BENCH_9.json
 
 # The benchmarks that guard the serving hot path's allocation budget,
 # the log codec / analysis ingest throughput, the WAL append path
 # under each sync policy, and the resolver/bulk-SPF concurrency path.
 HOT_BENCHES = BenchmarkServeHotPath|BenchmarkDNSMessagePackUnpack|BenchmarkSPFParse|BenchmarkQueryLogJSONRoundTrip|BenchmarkLogCodec|BenchmarkParForEachLogJSON|BenchmarkWALAppend|BenchmarkWALRecover|BenchmarkResolverParallel|BenchmarkSingleflightDedup|BenchmarkBulkSPF
 
-.PHONY: check vet build test fuzz-seeds chaos crash bench bench-smoke bench-diff telemetry-alloc bulk-race
+.PHONY: check vet build test fuzz-seeds chaos crash bench bench-smoke bench-diff telemetry-alloc bulk-race trace-race
 
-check: vet build test fuzz-seeds telemetry-alloc crash bulk-race bench-smoke
+check: vet build test fuzz-seeds telemetry-alloc crash bulk-race trace-race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -65,7 +65,8 @@ crash:
 # resolver cache-hit pin that share the naming convention).
 telemetry-alloc:
 	$(GO) test -run 'Alloc' -count=1 \
-		./internal/telemetry/ ./internal/dns/ ./internal/dnsserver/ ./internal/resolver/
+		./internal/telemetry/ ./internal/dns/ ./internal/dnsserver/ ./internal/resolver/ \
+		./internal/trace/
 
 # The bulk-SPF pipeline under seeded netsim faults and the race
 # detector: every input line must come back out exactly once while the
@@ -74,6 +75,16 @@ telemetry-alloc:
 bulk-race:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 \
 		-run 'TestBulkPipelineChaos' ./internal/bulkspf/
+
+# The tracing subsystem under the race detector: the full span
+# lifecycle (pooling, exporter handoff, Close drain), the wire/wait
+# attribution split, and a seeded-chaos bulk run at sample=1.0 with a
+# leak-checked exporter. Reproduce with `make trace-race CHAOS_SEED=<seed>`.
+trace-race:
+	$(GO) test -race -count=1 ./internal/trace/
+	$(GO) test -race -count=1 -run 'TestWireWait|TestWireAttribution' ./internal/resolver/
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 \
+		-run 'TestBulkPipelineChaosTraced' ./internal/bulkspf/
 
 # One iteration of every benchmark: catches bit-rot in benchmark code
 # without the cost of a measurement run.

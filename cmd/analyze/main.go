@@ -6,9 +6,16 @@
 // CDF, the §7.3 catalog, and validator fingerprinting — run afterwards
 // over the file, repeatably.
 //
+// With -trace, a span stream recorded by any command's -trace-file
+// flag is reassembled into per-trace trees and joined against the
+// query log: wire spans carrying dns.name/dns.type attributes claim
+// the logged queries they elicited, yielding per-(MTA, test) lookup
+// counts.
+//
 // Usage:
 //
 //	analyze -log queries.jsonl [-fingerprints 10] [-workers N]
+//	        [-trace spans.wal] [-trace-trees 10]
 package main
 
 import (
@@ -49,6 +56,9 @@ func main() {
 		topFP   = flag.Int("fingerprints", 10, "behaviour families to show")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"parallel log-decode workers (1 = serial)")
+		tracePath = flag.String("trace", "",
+			"span stream (as written by -trace-file) to reassemble and join against the query log")
+		traceMax = flag.Int("trace-trees", 10, "trace trees to print with -trace (0 = all)")
 	)
 	flag.Parse()
 	if *logPath == "" {
@@ -126,4 +136,17 @@ func main() {
 
 	clusters, vectors := experiment.AnalyzeFingerprintEntries(entries)
 	fmt.Print(experiment.RenderFingerprints(clusters, vectors, *topFP))
+
+	if *tracePath != "" {
+		recs, bad, err := loadSpans(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: reading trace file: %v\n", err)
+			os.Exit(1)
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "analyze: %d undecodable span lines skipped\n", bad)
+		}
+		fmt.Println()
+		renderTraceTrees(os.Stdout, recs, entries, *traceMax)
+	}
 }

@@ -29,6 +29,7 @@ import (
 	"sendervalid/internal/dnsserver"
 	"sendervalid/internal/policy"
 	"sendervalid/internal/telemetry"
+	"sendervalid/internal/traceflag"
 	"sendervalid/internal/wal"
 )
 
@@ -63,10 +64,18 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, ready c
 		logRotate   = fs.Int64("log-rotate", 256<<20, "-log-file rotation threshold in bytes (0 = never rotate)")
 		metricsAddr = fs.String("metrics-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof; empty disables")
 	)
+	traceFlags := traceflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	syncPolicy, err := wal.ParseSyncPolicy(*logSync)
+	if err != nil {
+		fmt.Fprintf(stderr, "authdns: %v\n", err)
+		return 2
+	}
+	tracing, err := traceFlags.Open(func(format string, args ...any) {
+		fmt.Fprintf(stderr, "authdns: "+format+"\n", args...)
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "authdns: %v\n", err)
 		return 2
@@ -124,7 +133,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, ready c
 				Default:    notifyCfg.Responder(),
 			},
 		},
-		Log: asyncLog,
+		Log:    asyncLog,
+		Tracer: tracing.Tracer,
 	}
 	bound, err := srv.Start()
 	if err != nil {
@@ -144,6 +154,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, ready c
 	asyncLog.RegisterMetrics(reg)
 	dns.RegisterPoolMetrics(reg)
 	telemetry.RegisterRuntimeMetrics(reg)
+	tracing.Tracer.RegisterMetrics(reg)
 
 	health := telemetry.NewHealth()
 	health.Register("querylog", func() error {
@@ -162,6 +173,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, ready c
 	var admin *telemetry.AdminServer
 	if *metricsAddr != "" {
 		admin = &telemetry.AdminServer{Addr: *metricsAddr, Registry: reg, Health: health}
+		if tracing.Tracer != nil {
+			admin.Handle("/debug/traces", tracing.Tracer.DebugHandler(reg))
+		}
 		adminAddr, err := admin.Start()
 		if err != nil {
 			fmt.Fprintf(stderr, "authdns: %v\n", err)
@@ -172,6 +186,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, ready c
 			if walSink != nil {
 				_ = walSink.Close()
 			}
+			_ = tracing.Close()
 			return 1
 		}
 		fmt.Fprintf(stdout, "authdns: admin plane on http://%s/metrics\n", adminAddr)
@@ -216,6 +231,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, ready c
 				if err := walSink.Close(); err != nil {
 					fmt.Fprintf(stderr, "authdns: closing query log: %v\n", err)
 				}
+			}
+			if err := tracing.Close(); err != nil {
+				fmt.Fprintf(stderr, "authdns: closing trace file: %v\n", err)
 			}
 			if admin != nil {
 				_ = admin.Shutdown(shutdownCtx)

@@ -38,6 +38,7 @@ import (
 	"sendervalid/internal/experiment"
 	"sendervalid/internal/netsim"
 	"sendervalid/internal/telemetry"
+	"sendervalid/internal/traceflag"
 	"sendervalid/internal/wal"
 )
 
@@ -61,6 +62,7 @@ func main() {
 		timeScale   = flag.Float64("timescale", 0.001, "protocol delay multiplier (1.0 = paper timing)")
 		metricsAddr = flag.String("metrics-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof; empty disables")
 	)
+	traceFlags := traceflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *resume && *journal == "" {
@@ -122,12 +124,20 @@ func main() {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
 	}
+	tracing, err := traceFlags.Open(logf)
+	exitOn(err)
+	defer func() {
+		if err := tracing.Close(); err != nil {
+			logf("closing trace file: %v", err)
+		}
+	}()
 	opts := experiment.ProbeCampaignOpts{
 		Workers:     *workers,
 		MTARate:     *rate,
 		MTABurst:    *burst,
 		MaxAttempts: *attempts,
 		Logf:        logf,
+		Tracer:      tracing.Tracer,
 	}
 	var jnl campaign.Journal
 	if *journal != "" {
@@ -163,6 +173,7 @@ func main() {
 		reg := telemetry.NewRegistry()
 		pc.RegisterMetrics(reg)
 		telemetry.RegisterRuntimeMetrics(reg)
+		tracing.Tracer.RegisterMetrics(reg)
 		health := telemetry.NewHealth()
 		health.Register("campaign", func() error { return nil })
 		if jnl != nil {
@@ -170,6 +181,9 @@ func main() {
 			health.Register("journal", jnl.Check)
 		}
 		admin := &telemetry.AdminServer{Addr: *metricsAddr, Registry: reg, Health: health}
+		if tracing.Tracer != nil {
+			admin.Handle("/debug/traces", tracing.Tracer.DebugHandler(reg))
+		}
 		adminAddr, err := admin.Start()
 		exitOn(err)
 		fmt.Printf("campaign: admin plane on http://%s/metrics\n", adminAddr)
@@ -232,6 +246,9 @@ func main() {
 			fmt.Printf("; rerun with -resume to continue")
 		}
 		fmt.Println()
+		// os.Exit skips deferred closes: drain the span stream first so
+		// an interrupted run still keeps its sampled spans.
+		_ = tracing.Close()
 		os.Exit(130)
 	}
 

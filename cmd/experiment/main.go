@@ -33,6 +33,8 @@ import (
 	"sendervalid/internal/mtasim"
 	"sendervalid/internal/policy"
 	"sendervalid/internal/telemetry"
+	"sendervalid/internal/trace"
+	"sendervalid/internal/traceflag"
 	"sendervalid/internal/wal"
 )
 
@@ -50,6 +52,7 @@ func main() {
 		resume      = flag.Bool("resume", false, "skip (MTA, test) pairs the journals already record as finished (requires -journal)")
 		metricsAddr = flag.String("metrics-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof; empty disables")
 	)
+	traceFlags := traceflag.Register(flag.CommandLine)
 	flag.Parse()
 	if *resume && *journal == "" {
 		fmt.Fprintln(os.Stderr, "experiment: -resume requires -journal")
@@ -60,6 +63,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
 		os.Exit(2)
 	}
+	tracing, err := traceFlags.Open(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "experiment: "+format+"\n", args...)
+	})
+	exitOn(err)
+	defer func() {
+		if err := tracing.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment: closing trace file: %v\n", err)
+		}
+	}()
 
 	neSpec := dataset.NotifyEmailSpec(*seed)
 	twSpec := dataset.TwoWeekMXSpec(*seed + 1)
@@ -97,7 +109,11 @@ func main() {
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 		telemetry.RegisterRuntimeMetrics(reg)
+		tracing.Tracer.RegisterMetrics(reg)
 		admin := &telemetry.AdminServer{Addr: *metricsAddr, Registry: reg, Health: telemetry.NewHealth()}
+		if tracing.Tracer != nil {
+			admin.Handle("/debug/traces", tracing.Tracer.DebugHandler(reg))
+		}
 		adminAddr, err := admin.Start()
 		exitOn(err)
 		fmt.Printf("experiment: admin plane on http://%s/metrics\n", adminAddr)
@@ -121,7 +137,7 @@ func main() {
 		len(nePop.Domains), len(nePop.MTAs))
 	neWorld, err := experiment.BuildWorld(nePop, experiment.WorldConfig{
 		Seed: *seed, Rates: experiment.NotifyRates(), TimeScale: *timeScale,
-		EnableIPv6DNS: true, FleetMetrics: fleetMetrics(),
+		EnableIPv6DNS: true, FleetMetrics: fleetMetrics(), Tracer: tracing.Tracer,
 	})
 	exitOn(err)
 	phaseMetrics(neWorld, "notifyemail")
@@ -140,10 +156,11 @@ func main() {
 	nmxWorld, err := experiment.BuildWorld(nePop, experiment.WorldConfig{
 		Seed: *seed + 7, Rates: experiment.NotifyRates(), TimeScale: *timeScale,
 		EnableIPv6DNS: true, ProfileDrift: 0.05, FleetMetrics: fleetMetrics(),
+		Tracer: tracing.Tracer,
 	})
 	exitOn(err)
 	phaseMetrics(nmxWorld, "notifymx")
-	nmxRun := runProbes(ctx, nmxWorld, tests, *workers, *journal, "notifymx", *resume, syncPolicy)
+	nmxRun := runProbes(ctx, nmxWorld, tests, *workers, *journal, "notifymx", *resume, syncPolicy, tracing.Tracer)
 	nmxAnalysis := experiment.AnalyzeProbes(nmxWorld, nmxRun, false)
 	nmxAnalysis.Name = "NotifyMX"
 	fmt.Printf("spam-rejecting MTAs: %d; blacklist-rejecting: %d\n",
@@ -154,11 +171,11 @@ func main() {
 	fmt.Printf("\n== TwoWeekMX experiment: probing %d MTAs ==\n", len(twPop.MTAs))
 	twWorld, err := experiment.BuildWorld(twPop, experiment.WorldConfig{
 		Seed: *seed + 13, Rates: experiment.TwoWeekRates(), TimeScale: *timeScale,
-		EnableIPv6DNS: true, FleetMetrics: fleetMetrics(),
+		EnableIPv6DNS: true, FleetMetrics: fleetMetrics(), Tracer: tracing.Tracer,
 	})
 	exitOn(err)
 	phaseMetrics(twWorld, "twoweekmx")
-	twRun := runProbes(ctx, twWorld, tests, *workers, *journal, "twoweekmx", *resume, syncPolicy)
+	twRun := runProbes(ctx, twWorld, tests, *workers, *journal, "twoweekmx", *resume, syncPolicy, tracing.Tracer)
 	twAnalysis := experiment.AnalyzeProbes(twWorld, twRun, true)
 
 	fmt.Print(experiment.RenderTable5(
@@ -190,12 +207,21 @@ func main() {
 // an error so two fresh runs never interleave in one record. New
 // journals are checksummed WALs under the -journal-sync policy; legacy
 // plain-JSONL journals are detected and continued in kind.
-func runProbes(ctx context.Context, w *experiment.World, tests []string, workers int, prefix, name string, resume bool, sync wal.SyncPolicy) *experiment.ProbeRun {
-	if prefix == "" {
-		return experiment.RunProbes(ctx, w, tests, workers)
-	}
+func runProbes(ctx context.Context, w *experiment.World, tests []string, workers int, prefix, name string, resume bool, sync wal.SyncPolicy, tracer *trace.Tracer) *experiment.ProbeRun {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "experiment: "+format+"\n", args...)
+	}
+	if prefix == "" {
+		if tracer == nil {
+			return experiment.RunProbes(ctx, w, tests, workers)
+		}
+		// Unjournaled but traced: run through the campaign machinery so
+		// every probe attempt still gets its root span.
+		pc := experiment.NewProbeCampaign(w, tests,
+			experiment.ProbeCampaignOpts{Workers: workers, Logf: logf, Tracer: tracer})
+		run, err := pc.Run(ctx)
+		exitOn(err)
+		return run
 	}
 	path := prefix + "." + name + ".jsonl"
 	replay, jnl, err := campaign.OpenJournal(path, campaign.JournalOptions{Sync: sync, Logf: logf})
@@ -204,7 +230,7 @@ func runProbes(ctx context.Context, w *experiment.World, tests []string, workers
 		fmt.Fprintf(os.Stderr, "experiment: journal %s had a torn tail; valid prefix salvaged (%d bytes dropped)\n",
 			path, replay.DroppedBytes)
 	}
-	opts := experiment.ProbeCampaignOpts{Workers: workers, Journal: jnl, Logf: logf}
+	opts := experiment.ProbeCampaignOpts{Workers: workers, Journal: jnl, Logf: logf, Tracer: tracer}
 	if resume {
 		opts.Replay = replay
 		if n := len(replay.Final); n > 0 {

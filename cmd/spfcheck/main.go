@@ -7,6 +7,7 @@
 //	spfcheck -ip 192.0.2.1 -from user@example.com [-helo mail.example.com]
 //	         [-server 127.0.0.1:53] [-limit 10] [-void 2] [-prefetch]
 //	         [-tolerate-syntax] [-follow-multiple]
+//	         [-trace-file spans.wal] [-trace-sample 1] [-trace-slow 50ms]
 //
 // Bulk: stream JSONL tuples ({"ip":..., "mail_from":..., "helo":...,
 // "domain":...}) from -input (a path, or "-" for stdin) through a
@@ -15,6 +16,10 @@
 // completion) and a throughput summary to stderr.
 //
 //	spfcheck -server 127.0.0.1:53 -input tuples.jsonl [-workers N] [-unordered]
+//
+// With -trace-file, every evaluation (and, in bulk mode, every tuple)
+// roots a trace whose resolver spans join against the authoritative
+// server's query log via `analyze -trace`.
 //
 // Without -server, the system resolver cannot be used (this module is
 // self-contained), so a server address is required.
@@ -43,6 +48,8 @@ import (
 	"sendervalid/internal/resolver"
 	"sendervalid/internal/smtp"
 	"sendervalid/internal/spf"
+	"sendervalid/internal/trace"
+	"sendervalid/internal/traceflag"
 )
 
 // Exit codes; see the command comment.
@@ -75,6 +82,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		followMany = fs.Bool("follow-multiple", false, "follow the first of multiple SPF records (a violation)")
 		timeoutS   = fs.Duration("timeout", 20*time.Second, "per-evaluation timeout")
 	)
+	traceFlags := traceflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -83,6 +91,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return exitUsage
 	}
+	tracing, err := traceFlags.Open(func(format string, args ...any) {
+		fmt.Fprintf(stderr, "spfcheck: "+format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "spfcheck: %v\n", err)
+		return exitUsage
+	}
+	defer func() {
+		if err := tracing.Close(); err != nil {
+			fmt.Fprintf(stderr, "spfcheck: closing trace file: %v\n", err)
+		}
+	}()
 	opts := spf.Options{
 		LookupLimit:           *limitFlag,
 		VoidLookupLimit:       *voidFlag,
@@ -98,7 +118,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "spfcheck: -input (bulk mode) excludes -ip/-from")
 			return exitUsage
 		}
-		return runBulk(res, opts, *inputFlag, *workers, *unordered, stdin, stdout, stderr)
+		return runBulk(res, opts, tracing.Tracer, *inputFlag, *workers, *unordered, stdin, stdout, stderr)
 	}
 
 	if *ipFlag == "" || *fromFlag == "" {
@@ -120,7 +140,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		helo = domain
 	}
 	checker := &spf.Checker{Resolver: res, Options: opts}
-	out := checker.CheckHost(context.Background(), ip, domain, *fromFlag, helo)
+	// Single-tuple mode roots the trace here so the SPF checker's and
+	// resolver's spans all share one trace ID.
+	ctx, sp := tracing.Tracer.Start(context.Background(), "spfcheck")
+	if sp != nil {
+		sp.SetAttr("ip", ip.String())
+		sp.SetAttr("domain", domain)
+	}
+	out := checker.CheckHost(ctx, ip, domain, *fromFlag, helo)
+	if sp != nil {
+		sp.SetAttr("result", string(out.Result))
+		sp.SetError(out.Err)
+		sp.End()
+	}
 	fmt.Fprintf(stdout, "result:       %s\n", out.Result)
 	fmt.Fprintf(stdout, "dns lookups:  %d\n", out.Lookups)
 	fmt.Fprintf(stdout, "void lookups: %d\n", out.VoidLookups)
@@ -141,7 +173,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 // runBulk streams tuples through the bulkspf pipeline and maps the
 // aggregate outcome onto the exit codes.
-func runBulk(res *resolver.Resolver, opts spf.Options, input string, workers int, unordered bool, stdin io.Reader, stdout, stderr io.Writer) int {
+func runBulk(res *resolver.Resolver, opts spf.Options, tracer *trace.Tracer, input string, workers int, unordered bool, stdin io.Reader, stdout, stderr io.Writer) int {
 	in := stdin
 	if input != "-" {
 		f, err := os.Open(input)
@@ -157,6 +189,7 @@ func runBulk(res *resolver.Resolver, opts spf.Options, input string, workers int
 		SPF:       opts,
 		Workers:   workers,
 		Unordered: unordered,
+		Tracer:    tracer,
 	})
 	stats, err := eval.Run(context.Background(), in, stdout)
 	if err != nil {

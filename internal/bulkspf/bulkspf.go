@@ -25,6 +25,7 @@ import (
 	"sendervalid/internal/smtp"
 	"sendervalid/internal/spf"
 	"sendervalid/internal/telemetry"
+	"sendervalid/internal/trace"
 )
 
 // maxLineBytes bounds one input line (a tuple is tiny; the headroom is
@@ -79,6 +80,10 @@ type Config struct {
 	// Unordered emits results as they complete instead of in input
 	// order; Seq still identifies the input line.
 	Unordered bool
+	// Tracer, when non-nil, opens one root span per evaluated tuple
+	// ("bulkspf.tuple"); the SPF checker and resolver hang their
+	// spans off it through the context.
+	Tracer *trace.Tracer
 }
 
 // Stats summarizes one Run.
@@ -308,10 +313,21 @@ func (e *Evaluator) eval(ctx context.Context, c *spf.Checker, j *job) Result {
 		// output so joins against the input stay unambiguous.
 		sender = "postmaster@" + helo
 	}
+	tctx, sp := e.cfg.Tracer.Start(ctx, "bulkspf.tuple")
+	if sp != nil {
+		sp.SetInt("seq", int64(j.seq))
+		sp.SetAttr("domain", domain)
+		sp.SetAttr("ip", tup.IP)
+	}
 	began := time.Now()
-	out := c.CheckHost(ctx, ip, domain, sender, helo)
+	out := c.CheckHost(tctx, ip, domain, sender, helo)
 	elapsed := time.Since(began)
-	e.metrics.latency.Observe(elapsed.Seconds())
+	if sp != nil {
+		sp.SetAttr("result", string(out.Result))
+		sp.SetError(out.Err)
+	}
+	e.metrics.latency.ObserveExemplar(elapsed.Seconds(), sp.ExemplarID())
+	sp.End()
 	e.metrics.evaluated.Inc()
 	r.Domain, r.MailFrom, r.Helo = domain, sender, helo
 	r.Result = out.Result

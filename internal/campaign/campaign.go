@@ -25,6 +25,8 @@ import (
 	mrand "math/rand"
 	"sync"
 	"time"
+
+	"sendervalid/internal/trace"
 )
 
 // Key identifies one unit of campaign work: an (MTA, test) pair.
@@ -94,6 +96,10 @@ type Config struct {
 	// Logf, when set, receives the campaign's rare operational
 	// warnings (currently: the one-time journal-failure notice).
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, opens one root span per attempt
+	// ("campaign.task") carrying the (MTA, test, attempt) attribution;
+	// the TaskFunc's probes hang their spans off it via the context.
+	Tracer *trace.Tracer
 }
 
 func (cfg *Config) fillDefaults() {
@@ -342,8 +348,19 @@ func (c *Campaign) attempt(ctx context.Context, t Task) {
 	c.journal.event(event{Ev: evAttempt, Key: k, N: n})
 	c.mu.Unlock()
 
-	err := c.run(ctx, t)
+	tctx, sp := c.cfg.Tracer.Start(ctx, "campaign.task")
+	if sp != nil {
+		sp.SetAttr("mta", t.MTA)
+		sp.SetAttr("test", t.Test)
+		sp.SetInt("attempt", int64(n))
+	}
+	err := c.run(tctx, t)
 	class := c.cfg.Classify(err)
+	if sp != nil {
+		sp.SetAttr("class", class.String())
+		sp.SetError(err)
+		sp.End()
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()

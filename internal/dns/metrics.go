@@ -43,6 +43,14 @@ func (m *serverMetrics) observeServe(seconds float64) {
 	}
 }
 
+// setServeExemplar tags the serve-latency bucket containing seconds
+// with a sampled trace id; the observation itself is observeServe's.
+func (m *serverMetrics) setServeExemplar(seconds float64, traceID string) {
+	if h := m.serve; h != nil {
+		h.SetExemplar(seconds, traceID)
+	}
+}
+
 // rcodeLabels are the label values for the 16 possible header RCODEs,
 // precomputed so the render path never calls RCode.String.
 var rcodeLabels = [16]string{

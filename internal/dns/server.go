@@ -8,6 +8,8 @@ import (
 	"net/netip"
 	"sync"
 	"time"
+
+	"sendervalid/internal/trace"
 )
 
 // Request carries a decoded query and its transport context to a
@@ -25,6 +27,11 @@ type Request struct {
 	Transport string
 	// Received is the server's arrival timestamp for the query.
 	Received time.Time
+	// Span is the query's root trace span when the Server has a
+	// Tracer, nil otherwise. Handlers may annotate it (attribution
+	// labels, outcome) but must not End it or retain it past ServeDNS:
+	// the Server ends the span after the handler returns.
+	Span *trace.Span
 
 	// remote caches RemoteAddr.String(); the Server fills it from its
 	// per-source cache so log attribution does not re-render the same
@@ -82,6 +89,10 @@ type Server struct {
 	// Logf, when set, receives diagnostics for recovered panics and
 	// degraded-mode events. Nil discards them.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, opens one root span per served query
+	// ("dns.serve"), exposed to the handler as Request.Span. Sampled
+	// spans also become exemplars on the serve-latency histogram.
+	Tracer *trace.Tracer
 
 	mu       sync.Mutex
 	pc       net.PacketConn
@@ -387,14 +398,25 @@ func (s *Server) handlePacket(pc net.PacketConn, raddr net.Addr, pktp *[]byte, n
 		s.metrics.observeServe(time.Since(received).Seconds())
 		return
 	}
+	sp := s.Tracer.StartSpan("dns.serve")
+	if sp != nil {
+		sp.SetAttr("transport", "udp")
+		sp.SetAttr("client", src.str)
+	}
 	s.serveRequest(w, &Request{
 		Msg:        msg,
 		RemoteAddr: raddr,
 		Transport:  "udp",
 		Received:   received,
+		Span:       sp,
 		remote:     src.str,
 	})
-	s.metrics.observeServe(time.Since(received).Seconds())
+	secs := time.Since(received).Seconds()
+	s.metrics.observeServe(secs)
+	if sp != nil {
+		s.metrics.setServeExemplar(secs, sp.ExemplarID())
+		sp.End()
+	}
 }
 
 func (s *Server) serveTCP(ln net.Listener) {
@@ -449,14 +471,25 @@ func (s *Server) handleTCPConn(conn net.Conn) {
 			s.metrics.observeServe(time.Since(received).Seconds())
 			continue
 		}
+		sp := s.Tracer.StartSpan("dns.serve")
+		if sp != nil {
+			sp.SetAttr("transport", "tcp")
+			sp.SetAttr("client", src.str)
+		}
 		s.serveRequest(w, &Request{
 			Msg:        msg,
 			RemoteAddr: raddr,
 			Transport:  "tcp",
 			Received:   received,
+			Span:       sp,
 			remote:     src.str,
 		})
-		s.metrics.observeServe(time.Since(received).Seconds())
+		secs := time.Since(received).Seconds()
+		s.metrics.observeServe(secs)
+		if sp != nil {
+			s.metrics.setServeExemplar(secs, sp.ExemplarID())
+			sp.End()
+		}
 		if s.closing() {
 			return
 		}

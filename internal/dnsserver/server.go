@@ -11,6 +11,7 @@ import (
 
 	"sendervalid/internal/dns"
 	"sendervalid/internal/telemetry"
+	"sendervalid/internal/trace"
 )
 
 // Query is a parsed, attributed query handed to a Responder.
@@ -199,6 +200,10 @@ type Server struct {
 	// Logf receives diagnostics (recovered responder panics). Nil
 	// discards them.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, is handed to both transport endpoints so
+	// each served query gets a "dns.serve" root span; the handler
+	// annotates it with the (testid, mtaid) attribution.
+	Tracer *trace.Tracer
 
 	srv4 *dns.Server
 	srv6 *dns.Server
@@ -261,6 +266,7 @@ func (s *Server) endpoint(addr string, v6 bool) *dns.Server {
 		MaxQPSPerSource: s.MaxQPSPerSource,
 		BurstPerSource:  s.BurstPerSource,
 		Logf:            s.Logf,
+		Tracer:          s.Tracer,
 	}
 }
 
@@ -357,6 +363,16 @@ func (s *Server) handler(v6 bool) dns.Handler {
 		}
 		q, _ := zone.parse(name, question.Type, r.Transport, v6)
 		s.metrics.queries.With(policyLabel(q.TestID)).Inc()
+		if sp := r.Span; sp != nil {
+			sp.SetAttr("name", q.Name)
+			sp.SetAttr("type", q.Type.String())
+			if q.TestID != "" {
+				sp.SetAttr("test", q.TestID)
+			}
+			if q.MTAID != "" {
+				sp.SetAttr("mta", q.MTAID)
+			}
+		}
 
 		if s.Log != nil && !zone.NoLog {
 			s.Log.Append(LogEntry{

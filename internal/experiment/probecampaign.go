@@ -11,6 +11,7 @@ import (
 	"sendervalid/internal/dataset"
 	"sendervalid/internal/probe"
 	"sendervalid/internal/smtp"
+	"sendervalid/internal/trace"
 )
 
 // ProbeCampaignOpts configures a durable probe run. The zero value
@@ -40,6 +41,9 @@ type ProbeCampaignOpts struct {
 	// Logf receives operational warnings (the one-line journal-failure
 	// notice); nil discards them.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, records one root span per probe attempt
+	// (see campaign.Config.Tracer).
+	Tracer *trace.Tracer
 }
 
 // ProbeCampaign is a prepared probe run over every (MTA, test) pair of
@@ -104,6 +108,7 @@ func NewProbeCampaign(w *World, tests []string, opts ProbeCampaignOpts) *ProbeCa
 		Seed:        w.cfg.Seed,
 		Journal:     opts.Journal,
 		Logf:        opts.Logf,
+		Tracer:      opts.Tracer,
 	}, func(ctx context.Context, t campaign.Task) error {
 		info := addrOf[t.MTA]
 		c := *client

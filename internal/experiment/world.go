@@ -21,6 +21,7 @@ import (
 	"sendervalid/internal/netsim"
 	"sendervalid/internal/policy"
 	"sendervalid/internal/telemetry"
+	"sendervalid/internal/trace"
 )
 
 // Default zone suffixes (the paper used spf-test.dns-lab.org and
@@ -74,6 +75,9 @@ type WorldConfig struct {
 	// FleetMetrics, when non-nil, aggregates telemetry across the
 	// whole MTA fleet (see World.RegisterMetrics).
 	FleetMetrics *mtasim.Metrics
+	// Tracer, when non-nil, gives the world's authoritative DNS server
+	// a root span per served query (attributed by the handler).
+	Tracer *trace.Tracer
 }
 
 // World is a running simulated environment: the authoritative DNS
@@ -148,7 +152,8 @@ func BuildWorld(pop *dataset.Population, cfg WorldConfig) (*World, error) {
 			// the sending MTA performs real mail-server selection.
 			recipientZone(pop),
 		},
-		Log: log,
+		Log:    log,
+		Tracer: cfg.Tracer,
 	}
 	if cfg.EnableIPv6DNS {
 		srv.Addr6 = "[::1]:0"

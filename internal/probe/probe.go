@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sendervalid/internal/smtp"
+	"sendervalid/internal/trace"
 )
 
 // DefaultRecipients is the paper's username ladder (§4.4): common
@@ -122,16 +123,34 @@ func (c *Client) sleep(ctx context.Context) error {
 	}
 }
 
-// Probe runs one test policy against the MTA at addr.
+// Probe runs one test policy against the MTA at addr. When ctx
+// carries a trace span the SMTP dialogue is recorded as one
+// "probe.smtp" span with a child per phase (connect, helo, mail,
+// rcpt, data).
 func (c *Client) Probe(ctx context.Context, addr netip.Addr, mtaID, testID string) *Result {
 	res := &Result{MTAID: mtaID, TestID: testID, Stage: StageConnect}
+	ctx, sp := trace.Start(ctx, "probe.smtp")
+	if sp != nil {
+		sp.SetAttr("mta", mtaID)
+		sp.SetAttr("test", testID)
+	}
+	defer func() {
+		if sp != nil {
+			sp.SetAttr("stage", string(res.Stage))
+			sp.SetError(res.Err)
+			sp.End()
+		}
+	}()
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return res
 	}
 	target := netip.AddrPortFrom(addr, 25).String()
 
+	_, psp := trace.Start(ctx, "probe.connect")
 	cl, err := smtp.Dial(ctx, c.Dialer, target)
+	psp.SetError(err)
+	psp.End()
 	if err != nil {
 		res.Err = err
 		var smtpErr *smtp.Error
@@ -154,7 +173,11 @@ func (c *Client) Probe(ctx context.Context, addr netip.Addr, mtaID, testID strin
 		res.Err = err
 		return res
 	}
-	if err := cl.Hello(helo); err != nil {
+	_, psp = trace.Start(ctx, "probe.helo")
+	err = cl.Hello(helo)
+	psp.SetError(err)
+	psp.End()
+	if err != nil {
 		res.Err = err
 		fillReply(res, err)
 		return res
@@ -165,7 +188,11 @@ func (c *Client) Probe(ctx context.Context, addr netip.Addr, mtaID, testID strin
 		return res
 	}
 	res.Stage = StageMail
-	if err := cl.Mail(c.FromAddress(testID, mtaID)); err != nil {
+	_, psp = trace.Start(ctx, "probe.mail")
+	err = cl.Mail(c.FromAddress(testID, mtaID))
+	psp.SetError(err)
+	psp.End()
+	if err != nil {
 		res.Err = err
 		fillReply(res, err)
 		return res
@@ -176,9 +203,12 @@ func (c *Client) Probe(ctx context.Context, addr netip.Addr, mtaID, testID strin
 		return res
 	}
 	res.Stage = StageRcpt
+	_, psp = trace.Start(ctx, "probe.rcpt")
 	var rcptErr error
 	for _, user := range c.recipients() {
 		if err := ctx.Err(); err != nil {
+			psp.SetError(err)
+			psp.End()
 			res.Err = err
 			return res
 		}
@@ -187,6 +217,11 @@ func (c *Client) Probe(ctx context.Context, addr netip.Addr, mtaID, testID strin
 			res.Recipient = to
 			break
 		}
+	}
+	if psp != nil {
+		psp.SetAttr("recipient", res.Recipient)
+		psp.SetError(rcptErr)
+		psp.End()
 	}
 	if rcptErr != nil {
 		res.Err = rcptErr
@@ -199,7 +234,10 @@ func (c *Client) Probe(ctx context.Context, addr netip.Addr, mtaID, testID strin
 		return res
 	}
 	res.Stage = StageData
+	_, psp = trace.Start(ctx, "probe.data")
 	code, text, err := cl.DataCommand()
+	psp.SetError(err)
+	psp.End()
 	if err != nil {
 		res.Err = err
 		fillReply(res, err)

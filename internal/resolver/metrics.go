@@ -20,6 +20,31 @@ type resolverMetrics struct {
 	timeouts  telemetry.Counter // attempts that failed with a deadline/timeout
 	sfLeader  telemetry.Counter // flights led (wire exchanges performed)
 	sfShared  telemetry.Counter // Exchange calls that joined an in-flight query
+
+	// wireSeconds times actual wire exchanges, observed exactly once
+	// per exchange by whoever performs it (the flight leader, or the
+	// caller itself with the cache disabled). waitSeconds times how
+	// long singleflight waiters spent blocked on another caller's
+	// exchange. Keeping the two apart stops N deduplicated callers
+	// from being attributed N wire latencies (the pre-split behaviour
+	// a shared histogram would produce).
+	wireSeconds *telemetry.Histogram
+	waitSeconds *telemetry.Histogram
+}
+
+// observeWire records one wire exchange's latency, tagging the
+// containing bucket with the exchanging span's trace when sampled.
+func (m *resolverMetrics) observeWire(secs float64, traceID string) {
+	if m.wireSeconds != nil {
+		m.wireSeconds.ObserveExemplar(secs, traceID)
+	}
+}
+
+// observeWait records one waiter's time blocked on a flight.
+func (m *resolverMetrics) observeWait(secs float64, traceID string) {
+	if m.waitSeconds != nil {
+		m.waitSeconds.ObserveExemplar(secs, traceID)
+	}
 }
 
 // isTimeout reports whether an exchange attempt failed on a deadline:
@@ -55,6 +80,12 @@ func (r *Resolver) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.
 	reg.MustCounter("resolver_singleflight_shared_total",
 		"Exchange calls that joined another caller's in-flight query instead of hitting the wire.",
 		&r.metrics.sfShared, labels...)
+	reg.MustHistogram("resolver_wire_seconds",
+		"Wire exchange latency, one observation per exchange (leaders only — waiters never re-attribute it).",
+		r.metrics.wireSeconds, labels...)
+	reg.MustHistogram("resolver_wait_seconds",
+		"Time singleflight waiters spent blocked on another caller's exchange.",
+		r.metrics.waitSeconds, labels...)
 	reg.MustGaugeFunc("resolver_cache_entries",
 		"Entries currently held in the resolver cache.",
 		func() float64 { return float64(r.CacheLen()) }, labels...)

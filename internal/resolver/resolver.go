@@ -23,6 +23,8 @@ import (
 
 	"sendervalid/internal/dns"
 	"sendervalid/internal/spf"
+	"sendervalid/internal/telemetry"
+	"sendervalid/internal/trace"
 )
 
 // TransportPolicy selects the address families the resolver may use to
@@ -116,7 +118,7 @@ func New(cfg Config) *Resolver {
 	if cfg.MaxCacheEntries == 0 {
 		cfg.MaxCacheEntries = 4096
 	}
-	return &Resolver{
+	r := &Resolver{
 		cfg: cfg,
 		client: &dns.Client{
 			Timeout:            cfg.Timeout,
@@ -125,6 +127,9 @@ func New(cfg Config) *Resolver {
 		},
 		cache: newShardedCache(cfg.MaxCacheEntries),
 	}
+	r.metrics.wireSeconds = telemetry.NewHistogram(telemetry.LatencyBuckets)
+	r.metrics.waitSeconds = telemetry.NewHistogram(telemetry.LatencyBuckets)
+	return r
 }
 
 // server picks the upstream endpoint honouring the transport policy.
@@ -174,31 +179,62 @@ func (r *Resolver) Exchange(ctx context.Context, name string, t dns.Type) (*dns.
 	name = dns.CanonicalName(name)
 	key := cacheKey{name: name, typ: t}
 	r.metrics.queries.Inc()
+	ctx, sp := trace.Start(ctx, "resolver.exchange")
+	if sp != nil {
+		sp.SetAttr("dns.name", name)
+		sp.SetAttr("dns.type", t.String())
+	}
 	if r.cfg.DisableCache {
 		// No cache means no flight either: a deduplicated answer is a
 		// momentary cache, and cache-disabled configurations exist to
 		// make every lookup observable at the server.
-		return r.exchangeWithRetry(ctx, name, t)
+		began := time.Now()
+		msg, err := r.exchangeWithRetry(ctx, name, t)
+		r.metrics.observeWire(time.Since(began).Seconds(), sp.ExemplarID())
+		sp.SetError(err)
+		sp.End()
+		return msg, err
 	}
 	if msg, ok := r.cache.get(key, time.Now()); ok {
 		r.metrics.cacheHits.Inc()
+		sp.SetAttr("outcome", "cache")
+		sp.End()
 		return msg, nil
 	}
 	if err := ctx.Err(); err != nil {
+		sp.SetError(err)
+		sp.End()
 		return nil, err
 	}
 	c, leader := r.flight.join(key)
 	if leader {
 		r.metrics.sfLeader.Inc()
-		go r.lead(key, c, name, t)
+		sp.SetAttr("singleflight", "leader")
+		go r.lead(key, c, name, t, sp.Link())
 	} else {
 		r.metrics.sfShared.Inc()
+		sp.SetAttr("singleflight", "waiter")
 	}
+	// Wire time is attributed once, by the leader goroutine, to
+	// resolver_wire_seconds; a waiter records only how long it waited
+	// on someone else's exchange, in resolver_wait_seconds. Summing
+	// the two families therefore never double-counts an exchange.
+	waitStart := time.Now()
 	select {
 	case <-c.done:
+		if !leader {
+			r.metrics.observeWait(time.Since(waitStart).Seconds(), sp.ExemplarID())
+		}
+		sp.SetError(c.err)
+		sp.End()
 		return c.msg, c.err
 	case <-ctx.Done():
 		r.flight.leave(c)
+		if !leader {
+			r.metrics.observeWait(time.Since(waitStart).Seconds(), sp.ExemplarID())
+		}
+		sp.SetError(ctx.Err())
+		sp.End()
 		return nil, ctx.Err()
 	}
 }
@@ -206,9 +242,20 @@ func (r *Resolver) Exchange(ctx context.Context, name string, t dns.Type) (*dns.
 // lead performs a flight's wire exchange under the flight-owned
 // context, caches a successful response, and publishes the outcome to
 // every waiter. Leader errors are not cached: the next caller after
-// finish starts a fresh flight.
-func (r *Resolver) lead(key cacheKey, c *flightCall, name string, t dns.Type) {
+// finish starts a fresh flight. link carries the leading Exchange
+// span's identity (a value snapshot — the span itself may already be
+// recycled by the time this goroutine runs).
+func (r *Resolver) lead(key cacheKey, c *flightCall, name string, t dns.Type, link trace.Link) {
+	wsp := link.Start("resolver.wire")
+	if wsp != nil {
+		wsp.SetAttr("dns.name", name)
+		wsp.SetAttr("dns.type", t.String())
+	}
+	began := time.Now()
 	msg, err := r.exchangeWithRetry(c.ctx, name, t)
+	r.metrics.observeWire(time.Since(began).Seconds(), wsp.ExemplarID())
+	wsp.SetError(err)
+	wsp.End()
 	if err == nil {
 		if ttl, ok := r.ttlFor(msg); ok {
 			r.cache.put(key, msg, time.Now().Add(ttl))

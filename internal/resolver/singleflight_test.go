@@ -236,3 +236,85 @@ func TestDisableCacheBypassesSingleflight(t *testing.T) {
 		t.Errorf("server saw %d queries, want 4 (no dedup with cache disabled)", got)
 	}
 }
+
+// TestWireWaitAttributionSplit pins the latency-attribution regression
+// the split histograms exist for: N concurrent identical lookups are
+// one wire exchange, so resolver_wire_seconds must record exactly one
+// observation (the leader's) and resolver_wait_seconds one per waiter.
+// The pre-split behaviour — every deduplicated caller logging the full
+// wire latency into one shared histogram — inflated the apparent wire
+// time N-fold under load.
+func TestWireWaitAttributionSplit(t *testing.T) {
+	t.Cleanup(leaktest.Check(t))
+	h := &slowHandler{staticHandler: newStaticHandler(), delay: 100 * time.Millisecond}
+	h.add("split.example.com", dns.TypeTXT, &dns.TXT{Strings: []string{"v=spf1 -all"}})
+	r := New(Config{Server: startServer(t, h)})
+	ctx := context.Background()
+
+	const callers = 12
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.LookupTXT(ctx, "split.example.com"); err != nil {
+				t.Errorf("lookup: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := r.metrics.wireSeconds.Count(); got != 1 {
+		t.Errorf("wire_seconds observations = %d, want 1 (leader only)", got)
+	}
+	if got := r.metrics.waitSeconds.Count(); got != callers-1 {
+		t.Errorf("wait_seconds observations = %d, want %d (one per waiter)", got, callers-1)
+	}
+	// The exchange ran behind a 100ms-slow server; both the single wire
+	// observation and the waiters' blocked time must reflect that.
+	if sum := r.metrics.wireSeconds.Sum(); sum < 0.05 {
+		t.Errorf("wire_seconds sum = %v, want >= 0.05 (one real exchange)", sum)
+	}
+	if sum := r.metrics.waitSeconds.Sum(); sum < 0.05 {
+		t.Errorf("wait_seconds sum = %v, want blocked waiters to have waited", sum)
+	}
+
+	// A cache hit is neither a wire exchange nor a wait.
+	if _, err := r.LookupTXT(ctx, "split.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.metrics.wireSeconds.Count(); got != 1 {
+		t.Errorf("cache hit bumped wire_seconds to %d", got)
+	}
+	if got := r.metrics.waitSeconds.Count(); got != callers-1 {
+		t.Errorf("cache hit bumped wait_seconds to %d", got)
+	}
+}
+
+// TestWireAttributionDisableCache pins the no-cache ablation: without
+// singleflight every caller performs (and is attributed) its own wire
+// exchange, and nobody waits.
+func TestWireAttributionDisableCache(t *testing.T) {
+	h := &slowHandler{staticHandler: newStaticHandler(), delay: 20 * time.Millisecond}
+	h.add("rawsplit.example.com", dns.TypeTXT, &dns.TXT{Strings: []string{"v=spf1 -all"}})
+	r := New(Config{Server: startServer(t, h), DisableCache: true})
+	ctx := context.Background()
+	const callers = 3
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.LookupTXT(ctx, "rawsplit.example.com"); err != nil {
+				t.Errorf("lookup: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.metrics.wireSeconds.Count(); got != callers {
+		t.Errorf("wire_seconds observations = %d, want %d (no dedup)", got, callers)
+	}
+	if got := r.metrics.waitSeconds.Count(); got != 0 {
+		t.Errorf("wait_seconds observations = %d, want 0", got)
+	}
+}

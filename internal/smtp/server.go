@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"sendervalid/internal/trace"
 )
 
 // Session carries the state of one SMTP connection through the
@@ -105,6 +107,10 @@ type Server struct {
 	StampReceived bool
 	// Clock supplies timestamps for trace headers; nil means time.Now.
 	Clock func() time.Time
+	// Tracer, when non-nil, opens one root span per accepted session
+	// ("smtp.session"), annotated at close with the client's HELO
+	// identity and command count.
+	Tracer *trace.Tracer
 
 	mu     sync.Mutex
 	wg     sync.WaitGroup
@@ -316,6 +322,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	// are both bounded, and exhausting either closes with 421 instead
 	// of looping forever against a byte-spewing or stalling client.
 	commands, errs := 0, 0
+	sp := s.Tracer.StartSpan("smtp.session")
+	if sp != nil {
+		sp.SetAttr("client", sess.ClientIP.String())
+	}
+	defer func() {
+		if sp != nil {
+			sp.SetAttr("helo", sess.Helo)
+			sp.SetInt("commands", int64(commands))
+			sp.End()
+		}
+	}()
 	evict := func(text string) {
 		s.noteEvicted()
 		send(&Reply{Code: 421, Text: s.hostname() + " " + text})

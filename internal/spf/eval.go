@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"sendervalid/internal/trace"
 )
 
 // MXRecord is a mail exchanger returned by a Resolver.
@@ -152,6 +154,10 @@ func (e *limitError) Error() string { return "spf: " + e.what + " limit exceeded
 func (c *Checker) CheckHost(ctx context.Context, ip netip.Addr, domain, sender, helo string) *Outcome {
 	ctx, cancel := context.WithTimeout(ctx, c.Options.timeout())
 	defer cancel()
+	ctx, sp := trace.Start(ctx, "spf.check")
+	if sp != nil {
+		sp.SetAttr("domain", domain)
+	}
 
 	st := &state{}
 	out := &Outcome{}
@@ -163,6 +169,8 @@ func (c *Checker) CheckHost(ctx context.Context, ip netip.Addr, domain, sender, 
 		Receiver: c.Options.Receiver,
 	}
 	result, rec, err := c.checkHost(ctx, st, env, domain)
+	// Prefetch goroutines hold ctx (and through it the span); they
+	// must be fully joined before the span can end and recycle.
 	st.prefetchWG.Wait()
 	out.Result = result
 	out.Err = err
@@ -171,7 +179,32 @@ func (c *Checker) CheckHost(ctx context.Context, ip netip.Addr, domain, sender, 
 	if result == Fail && rec != nil && rec.Exp != "" {
 		out.Explanation = c.explanation(ctx, st, env, rec.Exp)
 	}
+	if sp != nil {
+		sp.SetAttr("result", string(result))
+		sp.SetInt("lookups", int64(st.lookups))
+		sp.SetInt("void_lookups", int64(st.voidLookups))
+		sp.SetError(err)
+	}
+	sp.End()
 	return out
+}
+
+// mechSpanName maps a lookup-consuming mechanism kind to its span
+// name — constants, so starting the span never builds a string.
+func mechSpanName(k MechanismKind) string {
+	switch k {
+	case MechInclude:
+		return "spf.mech.include"
+	case MechA:
+		return "spf.mech.a"
+	case MechMX:
+		return "spf.mech.mx"
+	case MechPTR:
+		return "spf.mech.ptr"
+	case MechExists:
+		return "spf.mech.exists"
+	}
+	return "spf.mech"
 }
 
 // checkHost is the recursive core. It returns the record evaluated at
@@ -220,13 +253,27 @@ func (c *Checker) checkHost(ctx context.Context, st *state, env *MacroEnv, domai
 	defer func() { env.Domain = prevDomain }()
 
 	for _, m := range rec.Mechanisms {
-		if m.Kind.RequiresLookup() {
+		needsLookup := m.Kind.RequiresLookup()
+		if needsLookup {
 			st.lookups++
 			if st.lookups > c.Options.lookupLimit() {
 				return PermError, rec, &limitError{what: "DNS lookup"}
 			}
 		}
-		match, result, err := c.evalMechanism(ctx, st, env, m, domain)
+		mctx, msp := ctx, (*trace.Span)(nil)
+		var before int
+		if needsLookup {
+			before = st.lookups
+			mctx, msp = trace.Start(ctx, mechSpanName(m.Kind))
+		}
+		match, result, err := c.evalMechanism(mctx, st, env, m, domain)
+		if msp != nil {
+			// The mechanism's own counted lookup plus whatever its
+			// recursion consumed.
+			msp.SetInt("lookups", int64(st.lookups-before+1))
+			msp.SetError(err)
+			msp.End()
+		}
 		if err != nil || result != "" {
 			return result, rec, err
 		}
@@ -244,7 +291,17 @@ func (c *Checker) checkHost(ctx context.Context, st *state, env *MacroEnv, domai
 		if err != nil {
 			return PermError, rec, err
 		}
-		result, sub, err := c.checkHost(ctx, st, env, target)
+		rctx, rsp := trace.Start(ctx, "spf.redirect")
+		before := st.lookups
+		if rsp != nil {
+			rsp.SetAttr("target", target)
+		}
+		result, sub, err := c.checkHost(rctx, st, env, target)
+		if rsp != nil {
+			rsp.SetInt("lookups", int64(st.lookups-before+1))
+			rsp.SetError(err)
+			rsp.End()
+		}
 		if result == None {
 			return PermError, rec, fmt.Errorf("spf: redirect target %s has no SPF record", target)
 		}

@@ -34,6 +34,17 @@ type AdminServer struct {
 	started time.Time
 	ln      net.Listener
 	srv     *http.Server
+	extra   map[string]http.Handler
+}
+
+// Handle registers an extra route on the admin mux — how higher
+// layers (the tracer's /debug/traces, say) join the admin plane
+// without this package importing them. Call before Start/Handler.
+func (a *AdminServer) Handle(pattern string, h http.Handler) {
+	if a.extra == nil {
+		a.extra = make(map[string]http.Handler)
+	}
+	a.extra[pattern] = h
 }
 
 // Handler builds the admin mux. Exposed for tests and for embedding
@@ -48,6 +59,9 @@ func (a *AdminServer) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range a.extra {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 

@@ -72,6 +72,16 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Uint64
 	sum    Gauge
+	// ex holds the latest exemplar per bucket: a lock-free pointer
+	// swap on the sampled path, nothing at all on the unsampled one.
+	ex []atomic.Pointer[exemplarData]
+}
+
+// exemplarData is one stored exemplar: the observed value and the
+// trace that produced it.
+type exemplarData struct {
+	value float64
+	trace string
 }
 
 // NewHistogram builds a histogram over the given bucket upper bounds,
@@ -88,22 +98,48 @@ func NewHistogram(bounds []float64) *Histogram {
 	h := &Histogram{
 		bounds: append([]float64(nil), bounds...),
 		counts: make([]atomic.Uint64, len(bounds)+1),
+		ex:     make([]atomic.Pointer[exemplarData], len(bounds)+1),
 	}
 	return h
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	idx := len(h.bounds) // +Inf bucket
+// bucket returns the index of the bucket containing v.
+func (h *Histogram) bucket(v float64) int {
 	for i, b := range h.bounds {
 		if v <= b {
-			idx = i
-			break
+			return i
 		}
 	}
-	h.counts[idx].Add(1)
+	return len(h.bounds) // +Inf bucket
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucket(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// stores it as the containing bucket's exemplar. An empty traceID —
+// what an unsampled or nil span's ExemplarID returns — makes this
+// exactly Observe, so instrumented sites call it unconditionally.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.ex[h.bucket(v)].Store(&exemplarData{value: v, trace: traceID})
+	}
+}
+
+// SetExemplar stores an exemplar for the bucket containing v without
+// recording an observation — for sites whose Observe happens
+// elsewhere (the DNS serve path observes latency outside the span's
+// lifetime). Empty traceID is a no-op.
+func (h *Histogram) SetExemplar(v float64, traceID string) {
+	if traceID == "" {
+		return
+	}
+	h.ex[h.bucket(v)].Store(&exemplarData{value: v, trace: traceID})
 }
 
 // ObserveSince records the seconds elapsed since t0.
@@ -124,6 +160,19 @@ type HistogramSnapshot struct {
 	Counts []uint64  `json:"counts"`
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
+	// Exemplars carries the latest stored exemplar per bucket that
+	// has one. Bucket is the bucket index (len(Bounds) is the +Inf
+	// bucket — an index, not a bound, so the snapshot stays
+	// marshalable by encoding/json).
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// Exemplar links one histogram bucket to the trace that most
+// recently landed in it.
+type Exemplar struct {
+	Bucket  int     `json:"bucket"`
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace"`
 }
 
 // Snapshot copies the histogram's current state.
@@ -141,6 +190,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	// Render a consistent snapshot even if observations raced the scan:
 	// the +Inf bucket defines the count.
 	s.Count = s.Counts[len(s.Counts)-1]
+	for i := range h.ex {
+		if e := h.ex[i].Load(); e != nil {
+			s.Exemplars = append(s.Exemplars, Exemplar{Bucket: i, Value: e.value, TraceID: e.trace})
+		}
+	}
 	return s
 }
 

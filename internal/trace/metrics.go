@@ -1,0 +1,33 @@
+package trace
+
+import "sendervalid/internal/telemetry"
+
+// RegisterMetrics publishes the tracer's instruments under the
+// trace_ namespace. Safe on a nil tracer (no-op), so commands
+// register unconditionally.
+func (t *Tracer) RegisterMetrics(reg *telemetry.Registry, labels ...telemetry.Label) {
+	if t == nil {
+		return
+	}
+	reg.MustCounter("trace_spans_started_total",
+		"Spans started, sampled or not.",
+		&t.metrics.started, labels...)
+	reg.MustCounter("trace_spans_sampled_total",
+		"Root spans whose trace was head-sampled.",
+		&t.metrics.sampled, labels...)
+	reg.MustCounter("trace_spans_exported_total",
+		"Spans serialized to the span stream or retained in the rings.",
+		&t.metrics.exported, labels...)
+	reg.MustCounter("trace_spans_dropped_total",
+		"Finished spans dropped because the exporter queue was full.",
+		&t.metrics.dropped, labels...)
+	reg.MustCounter("trace_spans_promoted_slow_total",
+		"Unsampled spans promoted to export for exceeding the slow threshold.",
+		&t.metrics.promotedSlow, labels...)
+	reg.MustCounter("trace_spans_promoted_error_total",
+		"Unsampled spans promoted to export for carrying an error.",
+		&t.metrics.promotedErr, labels...)
+	reg.MustCounter("trace_export_write_errors_total",
+		"Span stream write failures.",
+		&t.metrics.writeErrs, labels...)
+}

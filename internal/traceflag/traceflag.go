@@ -1,0 +1,89 @@
+// Package traceflag wires the tracing flags shared by the serving and
+// evaluation commands — -trace-file, -trace-sample, -trace-slow — into
+// a configured trace.Tracer whose span stream is a checksummed WAL
+// (the same framing as the query log, readable by cmd/analyze -trace).
+package traceflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"sendervalid/internal/trace"
+	"sendervalid/internal/wal"
+)
+
+// Flags holds the parsed tracing flag values.
+type Flags struct {
+	File   string
+	Sample float64
+	Slow   time.Duration
+}
+
+// Register binds the standard tracing flags on fs (use flag.CommandLine
+// for commands parsing the global flag set).
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.File, "trace-file", "",
+		"span output: append sampled spans as checksummed WAL records (JSONL payload, readable by cmd/analyze -trace)")
+	fs.Float64Var(&f.Sample, "trace-sample", 0,
+		"span head-sampling rate in [0,1]; error and over-threshold spans are kept regardless")
+	fs.DurationVar(&f.Slow, "trace-slow", 0,
+		"keep every span at least this slow, sampled or not (0 disables slow promotion)")
+	return f
+}
+
+// Enabled reports whether the flags turn tracing on at all.
+func (f *Flags) Enabled() bool { return f.File != "" || f.Sample > 0 || f.Slow > 0 }
+
+// Tracing is a live tracer plus its backing span WAL. The zero value
+// (and the result of opening disabled flags) carries a nil Tracer,
+// which every instrumented call site treats as tracing-off.
+type Tracing struct {
+	Tracer *trace.Tracer
+	wal    *wal.WAL
+}
+
+// Open builds the tracer described by the flags. Disabled flags yield
+// a Tracing with a nil Tracer; warnf (optional) receives the one-line
+// torn-tail notice when the span WAL needed crash recovery.
+func (f *Flags) Open(warnf func(format string, args ...any)) (*Tracing, error) {
+	if !f.Enabled() {
+		return &Tracing{}, nil
+	}
+	if f.Sample < 0 || f.Sample > 1 {
+		return nil, fmt.Errorf("-trace-sample %g outside [0,1]", f.Sample)
+	}
+	var out io.Writer
+	var w *wal.WAL
+	if f.File != "" {
+		var err error
+		w, err = wal.Open(f.File, wal.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("opening trace file: %w", err)
+		}
+		if rec := w.Recovered(); rec.Truncated && warnf != nil {
+			warnf("trace file %s had a torn tail; %d records salvaged, %d bytes truncated",
+				f.File, rec.Records, rec.DroppedBytes)
+		}
+		out = w
+	}
+	return &Tracing{
+		Tracer: trace.New(trace.Config{SampleRate: f.Sample, SlowThreshold: f.Slow, Output: out}),
+		wal:    w,
+	}, nil
+}
+
+// Close drains the exporter and closes the span WAL. Safe on the zero
+// value and after a failed Open.
+func (t *Tracing) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.Tracer.Close()
+	if t.wal != nil {
+		return t.wal.Close()
+	}
+	return nil
+}
